@@ -1,0 +1,11 @@
+"""Benchmark-suite conftest: ensures this directory is importable so bench
+modules can share DDL constants, and provides the paper environment."""
+
+import pytest
+
+from repro.devices.paper_example import build_paper_example
+
+
+@pytest.fixture
+def paper():
+    return build_paper_example()

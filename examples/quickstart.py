@@ -1,0 +1,109 @@
+"""Quickstart: the paper's running example in ten minutes.
+
+Builds the relational pervasive environment of Examples 1–4 (prototypes,
+services, the ``contacts`` and ``cameras`` X-Relations), then runs the
+Table 4 queries Q1 and Q2 — showing results, action sets (Example 6) and
+the equivalence verdicts of Example 7.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algebra import Query, Selection, check_equivalence, col, scan
+from repro.devices.cameras import Camera
+from repro.devices.messengers import Outbox, email_service, jabber_service
+from repro.devices.prototypes import STANDARD_PROTOTYPES
+from repro.devices.scenario import cameras_schema, contacts_schema
+from repro.lang import explain, to_math
+from repro.model.environment import PervasiveEnvironment
+from repro.model.relation import XRelation
+
+
+def build_environment():
+    """Declare prototypes, register services, create X-Relations."""
+    env = PervasiveEnvironment()
+    for prototype in STANDARD_PROTOTYPES:
+        env.declare_prototype(prototype)
+
+    outbox = Outbox()
+    env.register_service(email_service(outbox).as_service())
+    env.register_service(jabber_service(outbox).as_service())
+    for reference, area in (("camera01", "office"), ("camera02", "corridor"),
+                            ("webcam07", "roof")):
+        env.register_service(Camera(reference, area, quality=7).as_service())
+
+    env.add_relation(
+        XRelation.from_mappings(
+            contacts_schema(),
+            [
+                {"name": "Nicolas", "address": "nicolas@elysee.fr", "messenger": "email"},
+                {"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"},
+                {"name": "Francois", "address": "francois@im.gouv.fr", "messenger": "jabber"},
+            ],
+        )
+    )
+    env.add_relation(
+        XRelation.from_mappings(
+            cameras_schema(),
+            [
+                {"camera": "camera01", "area": "office"},
+                {"camera": "camera02", "area": "corridor"},
+                {"camera": "webcam07", "area": "roof"},
+            ],
+        )
+    )
+    return env, outbox
+
+
+def main():
+    env, outbox = build_environment()
+
+    print("=== The environment catalog ===")
+    print(env.describe())
+
+    print("\n=== The contacts X-Relation (virtual attributes shown as *) ===")
+    print(env.instantaneous("contacts", 0).to_table())
+
+    # Q1: send "Bonjour!" to everyone except Carla.
+    q1 = (
+        scan(env, "contacts")
+        .select(col("name").ne("Carla"))
+        .assign("text", "Bonjour!")
+        .invoke("sendMessage")
+        .query("Q1")
+    )
+    print("\n=== Q1 ===")
+    print("math :", to_math(q1))
+    print(explain(q1))
+    result = q1.evaluate(env)
+    print(result.relation.to_table())
+    print("Action set (Example 6):")
+    print(result.actions.describe())
+    print(f"Messages actually sent: {len(outbox)}")
+
+    # Q1': the selection applied after the invocation — NOT equivalent.
+    inner = scan(env, "contacts").assign("text", "Bonjour!").invoke("sendMessage").node
+    q1_prime = Query(Selection(inner, col("name").ne("Carla")), "Q1'")
+    report = check_equivalence(q1, q1_prime, env)
+    print("\n=== Q1 vs Q1' (Example 7) ===")
+    print(f"same result: {report.same_result}, same actions: {report.same_actions}"
+          f" -> equivalent: {report.equivalent}")
+
+    # Q2: photos of the office with quality >= 5.
+    q2 = (
+        scan(env, "cameras")
+        .select(col("area").eq("office"))
+        .invoke("checkPhoto")
+        .select(col("quality").ge(5))
+        .invoke("takePhoto")
+        .project("photo")
+        .query("Q2")
+    )
+    print("\n=== Q2 ===")
+    print("math :", to_math(q2))
+    result = q2.evaluate(env)
+    print(result.relation.to_table())
+    print(f"Action set of Q2 is empty (passive prototypes): {set(result.actions)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Serena: a service-enabled algebra for pervasive environments.
+
+A from-scratch reproduction of *"A Simple (yet Powerful) Algebra for
+Pervasive Environments"* (Gripay, Laforest, Petit — EDBT 2010): the data
+model of relational pervasive environments (X-Relations with virtual
+attributes and binding patterns), the Serena algebra with realization and
+continuous operators, query equivalence via action sets, rewriting rules,
+and the PEMS prototype over a simulated pervasive environment.
+
+Quickstart::
+
+    from repro import algebra
+    from repro.devices.scenario import build_temperature_surveillance
+
+    scenario = build_temperature_surveillance()
+    env = scenario.environment
+    q = (
+        algebra.scan(env, "sensors")
+        .invoke("getTemperature")
+        .select(algebra.col("location").eq("office"))
+        .project("sensor", "temperature")
+        .query("office-temperatures")
+    )
+    print(q.evaluate(env).relation.to_table())
+
+See README.md and the ``examples/`` directory for full scenarios.
+"""
+
+from repro import algebra, continuous, errors, model
+from repro.algebra import Query, col, scan
+from repro.model import (
+    Attribute,
+    BindingPattern,
+    DataType,
+    ExtendedRelationSchema,
+    PervasiveEnvironment,
+    Prototype,
+    RelationSchema,
+    Service,
+    ServiceRegistry,
+    XRelation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "BindingPattern",
+    "DataType",
+    "ExtendedRelationSchema",
+    "PervasiveEnvironment",
+    "Prototype",
+    "Query",
+    "RelationSchema",
+    "Service",
+    "ServiceRegistry",
+    "XRelation",
+    "__version__",
+    "algebra",
+    "col",
+    "continuous",
+    "errors",
+    "model",
+    "scan",
+]

@@ -1,0 +1,74 @@
+"""Actions and action sets (Definition 8).
+
+An *action* is a triple ``(bp, s, t)``: an active binding pattern, a
+service reference and an input data tuple.  The *action set* of a query is
+the set of actions triggered by invocation operators over active binding
+patterns during its evaluation — it captures the impact of the query on the
+physical environment (e.g. the set of messages actually sent) and is half
+of the query-equivalence criterion of Definition 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.binding import BindingPattern
+
+__all__ = ["Action", "ActionSet"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One invocation of an active binding pattern.
+
+    Attributes
+    ----------
+    binding_pattern:
+        The active binding pattern that was invoked.
+    service:
+        The service reference the invocation targeted (``u[service_bp]``).
+    inputs:
+        The input data tuple, in prototype input-schema order
+        (``u[schema(Input_prototype_bp)]``).
+    """
+
+    binding_pattern: BindingPattern
+    service: object
+    inputs: tuple
+
+    def describe(self) -> str:
+        """Render like Example 6: ``(bp1, email, (nicolas@elysee.fr, Bonjour!))``."""
+        values = ", ".join(str(v) for v in self.inputs)
+        return f"({self.binding_pattern.prototype.name}, {self.service}, ({values}))"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class ActionSet(frozenset):
+    """A set of :class:`Action` with deterministic rendering."""
+
+    def __new__(cls, actions: Iterable[Action] = ()):
+        return super().__new__(cls, actions)
+
+    def describe(self) -> str:
+        """Deterministically ordered, one action per line."""
+        ordered = sorted(
+            self,
+            key=lambda a: (a.binding_pattern.prototype.name, str(a.service), a.inputs),
+        )
+        return "\n".join(a.describe() for a in ordered)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(
+            a.describe()
+            for a in sorted(
+                self,
+                key=lambda a: (
+                    a.binding_pattern.prototype.name,
+                    str(a.service),
+                    a.inputs,
+                ),
+            )
+        ) + "}"

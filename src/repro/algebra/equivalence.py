@@ -1,0 +1,75 @@
+"""Query equivalence (Definition 9).
+
+Two queries ``q1`` and ``q2`` over a relational pervasive environment
+schema are equivalent iff, for any environment instance evaluated at the
+same discrete time instant, they produce the same resulting X-Relation
+*and* the same action set — they may differ in the invocations of
+*passive* binding patterns they trigger (Example 7: Q2 ≡ Q2′ although they
+invoke ``takePhoto`` on different numbers of tuples).
+
+True equivalence quantifies over all environments; this module provides the
+empirical check used by the rewriting engine's tests and benchmarks:
+evaluating both queries on concrete environments (typically randomized
+ones) and comparing results and action sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algebra.query import Query
+from repro.model.environment import PervasiveEnvironment
+
+__all__ = ["EquivalenceReport", "check_equivalence", "equivalent_on"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of an empirical equivalence check on one environment."""
+
+    same_result: bool
+    same_actions: bool
+    instant: int
+
+    @property
+    def equivalent(self) -> bool:
+        """Definition 9: same result AND same action set."""
+        return self.same_result and self.same_actions
+
+
+def check_equivalence(
+    q1: Query,
+    q2: Query,
+    environment: PervasiveEnvironment,
+    instant: int = 0,
+) -> EquivalenceReport:
+    """Evaluate both queries at ``instant`` and compare per Definition 9.
+
+    Both queries run against the same environment state; services must be
+    deterministic at a given instant (Section 3.2) for the comparison to be
+    meaningful — all simulated devices in :mod:`repro.devices` are.
+    """
+    r1 = q1.evaluate(environment, instant)
+    r2 = q2.evaluate(environment, instant)
+    return EquivalenceReport(
+        same_result=r1.relation == r2.relation,
+        same_actions=r1.actions == r2.actions,
+        instant=instant,
+    )
+
+
+def equivalent_on(
+    q1: Query,
+    q2: Query,
+    environments: Iterable[PervasiveEnvironment],
+    instants: Iterable[int] = (0,),
+) -> bool:
+    """True iff the queries are empirically equivalent on every given
+    environment at every given instant."""
+    instants = tuple(instants)
+    for environment in environments:
+        for instant in instants:
+            if not check_equivalence(q1, q2, environment, instant).equivalent:
+                return False
+    return True

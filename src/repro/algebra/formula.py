@@ -1,0 +1,267 @@
+"""Selection formulas over real schemas (Table 3b).
+
+Selection formulas can only reference *real* attributes, because virtual
+attributes have no value at the tuple level.  The AST supports comparisons
+between attributes and constants (or two attributes), conjunction,
+disjunction and negation; evaluation follows the standard logical
+implication ``t |= F`` of the relational algebra.
+
+The public entry point is :func:`col`, a small builder:
+
+>>> formula = col("name").ne("Carla") & col("temperature").gt(35.5)
+>>> formula.attributes()
+frozenset({'name', 'temperature'})
+"""
+
+from __future__ import annotations
+
+import abc
+import operator as _op
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import FormulaError, VirtualAttributeError
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = [
+    "Formula",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TrueFormula",
+    "col",
+    "ColumnBuilder",
+]
+
+def _contains(left: object, right: object) -> bool:
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise FormulaError(
+            f"'contains' applies to strings, got {left!r} and {right!r}"
+        )
+    return right in left
+
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": _op.eq,
+    "!=": _op.ne,
+    "<": _op.lt,
+    "<=": _op.le,
+    ">": _op.gt,
+    ">=": _op.ge,
+    "contains": _contains,
+}
+
+_ORDERING_OPS = frozenset({"<", "<=", ">", ">="})
+
+
+class Formula(abc.ABC):
+    """Base class of selection-formula nodes."""
+
+    @abc.abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by the formula."""
+
+    @abc.abstractmethod
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        """``t |= F`` for the tuple given as a name→value mapping."""
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """Textual form usable in the Serena Algebra Language."""
+
+    def validate(self, schema: ExtendedRelationSchema) -> None:
+        """Check that every referenced attribute is a *real* attribute."""
+        for name in self.attributes():
+            if name not in schema:
+                raise FormulaError(
+                    f"selection formula references unknown attribute {name!r}"
+                )
+            if schema.is_virtual(name):
+                raise VirtualAttributeError(
+                    f"selection formula references virtual attribute {name!r}: "
+                    "selection formulas apply to real attributes only (Table 3b)"
+                )
+
+    # Connectives.  ``&``, ``|`` and ``~`` build And/Or/Not nodes.
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The always-true formula (neutral element of conjunction)."""
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return True
+
+    def render(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """``left op right`` where each side is an attribute or a constant.
+
+    ``left_is_attr`` / ``right_is_attr`` distinguish attribute references
+    from constant values, so that a constant that happens to be a string
+    equal to an attribute name is not misread.
+    """
+
+    left: object
+    op: str
+    right: object
+    left_is_attr: bool = True
+    right_is_attr: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise FormulaError(f"unknown comparison operator {self.op!r}")
+        if self.left_is_attr and not isinstance(self.left, str):
+            raise FormulaError(f"attribute reference must be a name: {self.left!r}")
+        if self.right_is_attr and not isinstance(self.right, str):
+            raise FormulaError(f"attribute reference must be a name: {self.right!r}")
+
+    def attributes(self) -> frozenset[str]:
+        names = set()
+        if self.left_is_attr:
+            names.add(self.left)
+        if self.right_is_attr:
+            names.add(self.right)
+        return frozenset(names)
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        left = row[self.left] if self.left_is_attr else self.left
+        right = row[self.right] if self.right_is_attr else self.right
+        if self.op in _ORDERING_OPS:
+            try:
+                return _OPERATORS[self.op](left, right)
+            except TypeError:
+                raise FormulaError(
+                    f"cannot order {left!r} and {right!r} with {self.op!r}"
+                ) from None
+        # Equality across types is well-defined (just False), but guard the
+        # classic int/float cross-type case so 35 == 35.0 holds as in SQL.
+        return _OPERATORS[self.op](left, right)
+
+    def render(self) -> str:
+        return f"{_render_side(self.left, self.left_is_attr)} {self.op} " \
+               f"{_render_side(self.right, self.right_is_attr)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def render(self) -> str:
+        return f"({self.left.render()} and {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def render(self) -> str:
+        return f"({self.left.render()} or {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return not self.operand.evaluate(row)
+
+    def render(self) -> str:
+        return f"(not {self.operand.render()})"
+
+
+def _render_side(value: object, is_attr: bool) -> str:
+    if is_attr:
+        return str(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+class ColumnBuilder:
+    """Fluent builder for comparisons on one attribute; see :func:`col`."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def _compare(self, op: str, other: object) -> Comparison:
+        if isinstance(other, ColumnBuilder):
+            return Comparison(self._name, op, other._name, True, True)
+        return Comparison(self._name, op, other, True, False)
+
+    def eq(self, other: object) -> Comparison:
+        """``attribute = value`` (or ``= other attribute``)."""
+        return self._compare("=", other)
+
+    def ne(self, other: object) -> Comparison:
+        """``attribute != value``."""
+        return self._compare("!=", other)
+
+    def lt(self, other: object) -> Comparison:
+        """``attribute < value``."""
+        return self._compare("<", other)
+
+    def le(self, other: object) -> Comparison:
+        """``attribute <= value``."""
+        return self._compare("<=", other)
+
+    def gt(self, other: object) -> Comparison:
+        """``attribute > value``."""
+        return self._compare(">", other)
+
+    def ge(self, other: object) -> Comparison:
+        """``attribute >= value``."""
+        return self._compare(">=", other)
+
+    def contains(self, other: object) -> Comparison:
+        """``value`` occurs as a substring of the (string) attribute."""
+        return self._compare("contains", other)
+
+
+def col(name: str) -> ColumnBuilder:
+    """Start a comparison on attribute ``name``.
+
+    >>> col("area").eq("office") & col("quality").ge(5)
+    """
+    return ColumnBuilder(name)

@@ -1,0 +1,121 @@
+"""The assignment operator α (Table 3e).
+
+Assignment is the realization operator for individual virtual attributes:
+``α_{A:=B}(r)`` copies the value of real attribute ``B`` into virtual
+attribute ``A``, and ``α_{A:=a}(r)`` assigns the constant ``a``.  In both
+cases ``A`` becomes a real attribute of the result; binding patterns whose
+output attributes include ``A`` are dropped (their outputs must stay
+virtual).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError, VirtualAttributeError
+from repro.model.relation import XRelation
+from repro.model.types import coerce_value
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Assignment"]
+
+
+class Assignment(Operator):
+    """``α_{A:=B}(r)`` or ``α_{A:=a}(r)``.
+
+    Parameters
+    ----------
+    child:
+        The operand plan.
+    attribute:
+        ``A``: a virtual attribute of the operand schema.
+    value:
+        Either the name of a real attribute ``B`` (with
+        ``from_attribute=True``) or a constant ``a`` of ``A``'s domain.
+    from_attribute:
+        Selects between the two forms of the operator.
+    """
+
+    __slots__ = ("attribute", "value", "from_attribute")
+
+    def __init__(
+        self,
+        child: Operator,
+        attribute: str,
+        value: object,
+        from_attribute: bool = False,
+    ):
+        if child.is_stream:
+            raise InvalidOperatorError(
+                "assignment: operand must be finite (apply a window first)"
+            )
+        schema = child.schema
+        if attribute not in schema:
+            raise InvalidOperatorError(
+                f"assignment: unknown attribute {attribute!r}"
+            )
+        if not schema.is_virtual(attribute):
+            raise VirtualAttributeError(
+                f"assignment: {attribute!r} is already real; α only realizes "
+                "virtual attributes (Table 3e)"
+            )
+        if from_attribute:
+            if not isinstance(value, str) or value not in schema:
+                raise InvalidOperatorError(
+                    f"assignment: source attribute {value!r} not in schema"
+                )
+            if schema.is_virtual(value):
+                raise VirtualAttributeError(
+                    f"assignment: source attribute {value!r} must be real"
+                )
+            if schema.dtype(value) is not schema.dtype(attribute):
+                raise InvalidOperatorError(
+                    f"assignment: cannot assign {value!r} "
+                    f"({schema.dtype(value).value}) to {attribute!r} "
+                    f"({schema.dtype(attribute).value})"
+                )
+        else:
+            value = coerce_value(value, schema.dtype(attribute))
+        self.attribute = attribute
+        self.value = value
+        self.from_attribute = from_attribute
+        super().__init__((child,))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        (child,) = self.children
+        return child.schema.realize((self.attribute,))
+
+    def with_children(self, children: Sequence[Operator]) -> "Assignment":
+        (child,) = children
+        return Assignment(child, self.attribute, self.value, self.from_attribute)
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        (child,) = self.children
+        relation = child.evaluate(ctx)
+        source = relation.schema
+        target_pos = self.schema.real_position(self.attribute)
+        if self.from_attribute:
+            value_pos = source.real_position(self.value)  # type: ignore[arg-type]
+        out = []
+        for t in relation:
+            value = t[value_pos] if self.from_attribute else self.value
+            out.append(t[:target_pos] + (value,) + t[target_pos:])
+        return XRelation(self.schema, out, validated=True)
+
+    def render(self) -> str:
+        (child,) = self.children
+        if self.from_attribute:
+            rhs = str(self.value)
+        elif isinstance(self.value, str):
+            rhs = "'" + self.value.replace("'", "''") + "'"
+        else:
+            rhs = repr(self.value)
+        return f"assign[{self.attribute} := {rhs}]({child.render()})"
+
+    def symbol(self) -> str:
+        return f"α[{self.attribute}:={self.value!r}]"
+
+    def _signature(self) -> tuple:
+        return (self.attribute, self.value, self.from_attribute)

@@ -1,0 +1,99 @@
+"""The natural join operator ⋈ (Table 3d).
+
+The join attributes are the intersection of the two schemas.  Because
+tuples cannot be projected onto virtual attributes, only join attributes
+that are *real in both operands* imply a join predicate; if every join
+attribute is virtual in at least one operand, the join degenerates, at the
+tuple level, to a Cartesian product.
+
+A join attribute that is real in one operand and virtual in the other
+becomes real in the result — an *implicit realization* of the virtual
+attribute (Section 3.1.3).
+
+Binding patterns from both operands are propagated, minus those whose
+output attributes became real through the join.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["NaturalJoin"]
+
+
+class NaturalJoin(Operator):
+    """``r1 ⋈ r2`` over extended relation schemas."""
+
+    __slots__ = ()
+
+    def __init__(self, left: Operator, right: Operator):
+        if left.is_stream or right.is_stream:
+            raise InvalidOperatorError(
+                "natural join: operands must be finite (apply a window first)"
+            )
+        super().__init__((left, right))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        left, right = self.children
+        return left.schema.join(right.schema)
+
+    def with_children(self, children: Sequence[Operator]) -> "NaturalJoin":
+        left, right = children
+        return NaturalJoin(left, right)
+
+    @property
+    def predicate_names(self) -> tuple[str, ...]:
+        """Join attributes that are real in both operands (sorted)."""
+        left, right = self.children
+        return tuple(sorted(left.schema.real_names & right.schema.real_names))
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        left, right = self.children
+        left_rel = left.evaluate(ctx)
+        right_rel = right.evaluate(ctx)
+        lschema, rschema = left_rel.schema, right_rel.schema
+        keys = self.predicate_names
+
+        # Output tuple layout: real attributes of the result schema in
+        # order; each value comes from the left tuple when the attribute is
+        # real on the left, otherwise from the right tuple.
+        out_sources: list[tuple[bool, int]] = []
+        for attribute in self.schema.real_attributes:
+            name = attribute.name
+            if name in lschema.real_names:
+                out_sources.append((True, lschema.real_position(name)))
+            else:
+                out_sources.append((False, rschema.real_position(name)))
+
+        lkey = [lschema.real_position(n) for n in keys]
+        rkey = [rschema.real_position(n) for n in keys]
+
+        buckets: dict[tuple, list[tuple]] = defaultdict(list)
+        for rt in right_rel:
+            buckets[tuple(rt[p] for p in rkey)].append(rt)
+
+        out = []
+        for lt in left_rel:
+            for rt in buckets.get(tuple(lt[p] for p in lkey), ()):
+                out.append(
+                    tuple(
+                        lt[p] if from_left else rt[p]
+                        for from_left, p in out_sources
+                    )
+                )
+        return XRelation(self.schema, out, validated=True)
+
+    def render(self) -> str:
+        left, right = self.children
+        return f"join({left.render()}, {right.render()})"
+
+    def symbol(self) -> str:
+        keys = self.predicate_names
+        return "⋈" + (f"[{', '.join(keys)}]" if keys else "[×]")

@@ -1,0 +1,78 @@
+"""The projection operator π (Table 3a).
+
+Projection reduces the schema of an X-Relation — both its real and virtual
+parts.  Binding patterns survive only if their service attribute, input
+attributes and output attributes all remain in the projected schema.
+
+At the tuple level, tuples are projected onto the *real* attributes of the
+kept set: ``s = { t[Y ∩ realSchema(R)] | t ∈ r }``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Projection"]
+
+
+class Projection(Operator):
+    """``π_Y(r)`` with ``Y ⊆ schema(R)``.
+
+    ``names`` may include virtual attributes (they stay virtual in the
+    result, usable by later realization operators).
+    """
+
+    __slots__ = ("names",)
+
+    def __init__(self, child: Operator, names: Sequence[str]):
+        if child.is_stream:
+            raise InvalidOperatorError(
+                "projection: operand must be finite (apply a window first)"
+            )
+        if not names:
+            raise InvalidOperatorError("projection: Y must be non-empty")
+        seen = set()
+        for name in names:
+            if name in seen:
+                raise InvalidOperatorError(
+                    f"projection: duplicate attribute {name!r} in Y"
+                )
+            seen.add(name)
+        self.names = tuple(names)
+        super().__init__((child,))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        (child,) = self.children
+        return child.schema.project(self.names)
+
+    def with_children(self, children: Sequence[Operator]) -> "Projection":
+        (child,) = children
+        return Projection(child, self.names)
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        (child,) = self.children
+        relation = child.evaluate(ctx)
+        kept_real = [n for n in self.schema.names if n in self.schema.real_names]
+        source = relation.schema
+        positions = [source.real_position(n) for n in kept_real]
+        return XRelation(
+            self.schema,
+            (tuple(t[p] for p in positions) for t in relation),
+            validated=True,
+        )
+
+    def render(self) -> str:
+        (child,) = self.children
+        return f"project[{', '.join(self.names)}]({child.render()})"
+
+    def symbol(self) -> str:
+        return f"π[{', '.join(self.names)}]"
+
+    def _signature(self) -> tuple:
+        return (self.names,)

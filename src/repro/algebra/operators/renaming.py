@@ -1,0 +1,59 @@
+"""The renaming operator ρ (Table 3c).
+
+Renaming replaces one attribute name by a fresh one, preserving the
+attribute's real/virtual status and its position.  Binding patterns follow:
+a pattern whose *service attribute* is renamed is rewritten to use the new
+name; a pattern whose prototype *input or output* attribute is renamed is
+dropped (prototype schemas are fixed by the prototype declaration, so the
+pattern can no longer match the relation's attributes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Renaming"]
+
+
+class Renaming(Operator):
+    """``ρ_{A→B}(r)`` with ``A ∈ schema(R)`` and ``B ∉ schema(R)``."""
+
+    __slots__ = ("old", "new")
+
+    def __init__(self, child: Operator, old: str, new: str):
+        if child.is_stream:
+            raise InvalidOperatorError(
+                "renaming: operand must be finite (apply a window first)"
+            )
+        self.old = old
+        self.new = new
+        super().__init__((child,))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        (child,) = self.children
+        return child.schema.rename(self.old, self.new)
+
+    def with_children(self, children: Sequence[Operator]) -> "Renaming":
+        (child,) = children
+        return Renaming(child, self.old, self.new)
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        (child,) = self.children
+        # Renaming does not reorder attributes, so tuple layouts coincide.
+        return XRelation(self.schema, child.evaluate(ctx).tuples, validated=True)
+
+    def render(self) -> str:
+        (child,) = self.children
+        return f"rename[{self.old} -> {self.new}]({child.render()})"
+
+    def symbol(self) -> str:
+        return f"ρ[{self.old}→{self.new}]"
+
+    def _signature(self) -> tuple:
+        return (self.old, self.new)

@@ -1,0 +1,123 @@
+"""Leaf operators: scans of named relations and literal X-Relations.
+
+A :class:`Scan` references an X-Relation (or XD-Relation) of the
+environment by name and resolves it at evaluation time — this is what makes
+plans robust to dynamic environments: the relation contents (including
+discovery-maintained service tables) are read at the evaluation instant.
+
+A :class:`BaseRelation` embeds a literal X-Relation into a plan; it is
+mostly useful for tests and for invoking a prototype on an ad-hoc
+single-tuple relation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Scan", "BaseRelation"]
+
+
+class Scan(Operator):
+    """Leaf node reading relation ``name`` from the environment.
+
+    Parameters
+    ----------
+    name:
+        The relation's name in the environment.
+    schema:
+        The relation's extended schema (captured at plan-build time; the
+        environment must still hold a relation with a compatible schema at
+        evaluation time).
+    stream:
+        True iff the named relation is an infinite XD-Relation (Section 4.1).
+    """
+
+    __slots__ = ("name", "_declared_schema", "_stream")
+
+    def __init__(self, name: str, schema: ExtendedRelationSchema, stream: bool = False):
+        self.name = name
+        self._declared_schema = schema
+        self._stream = stream
+        super().__init__(())
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        return self._declared_schema
+
+    def with_children(self, children: Sequence[Operator]) -> "Scan":
+        if children:
+            raise InvalidOperatorError("Scan is a leaf")
+        return self
+
+    @property
+    def is_stream(self) -> bool:
+        return self._stream
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        relation = ctx.environment.instantaneous(self.name, ctx.instant)
+        if not relation.schema.compatible(self.schema):
+            raise InvalidOperatorError(
+                f"relation {self.name!r} changed schema since the plan was built"
+            )
+        return relation
+
+    def inserted(self, ctx: EvaluationContext) -> frozenset[tuple]:
+        """Exact insertions from the XD-Relation journal when available."""
+        stored = ctx.environment.relation(self.name)
+        inserted_at = getattr(stored, "inserted_at", None)
+        if inserted_at is not None:
+            self.evaluate(ctx)  # keep the delta bookkeeping consistent
+            return frozenset(inserted_at(ctx.instant))
+        return super().inserted(ctx)
+
+    def deleted(self, ctx: EvaluationContext) -> frozenset[tuple]:
+        stored = ctx.environment.relation(self.name)
+        deleted_at = getattr(stored, "deleted_at", None)
+        if deleted_at is not None:
+            self.evaluate(ctx)
+            return frozenset(deleted_at(ctx.instant))
+        return super().deleted(ctx)
+
+    def render(self) -> str:
+        return self.name
+
+    def symbol(self) -> str:
+        return f"scan({self.name})" + ("∞" if self._stream else "")
+
+    def _signature(self) -> tuple:
+        return (self.name, self._stream)
+
+
+class BaseRelation(Operator):
+    """Leaf node over a literal X-Relation (environment-independent)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: XRelation):
+        self.relation = relation
+        super().__init__(())
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        return self.relation.schema
+
+    def with_children(self, children: Sequence[Operator]) -> "BaseRelation":
+        if children:
+            raise InvalidOperatorError("BaseRelation is a leaf")
+        return self
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        return self.relation
+
+    def render(self) -> str:
+        return f"<literal:{len(self.relation)} tuples>"
+
+    def symbol(self) -> str:
+        return "literal"
+
+    def _signature(self) -> tuple:
+        return (self.relation,)

@@ -1,0 +1,65 @@
+"""The selection operator σ (Table 3b).
+
+Selection does not modify the schema.  Its formula can only reference real
+attributes (virtual attributes have no value) — this is validated at plan
+construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.formula import Formula
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Selection"]
+
+
+class Selection(Operator):
+    """``σ_F(r)`` with ``F`` a selection formula over ``realSchema(R)``."""
+
+    __slots__ = ("formula",)
+
+    def __init__(self, child: Operator, formula: Formula):
+        if child.is_stream:
+            raise InvalidOperatorError(
+                "selection: operand must be finite (apply a window first)"
+            )
+        formula.validate(child.schema)
+        self.formula = formula
+        super().__init__((child,))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        (child,) = self.children
+        return child.schema
+
+    def with_children(self, children: Sequence[Operator]) -> "Selection":
+        (child,) = children
+        return Selection(child, self.formula)
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        (child,) = self.children
+        relation = child.evaluate(ctx)
+        schema = relation.schema
+        needed = sorted(self.formula.attributes())
+        positions = {n: schema.real_position(n) for n in needed}
+        kept = []
+        for t in relation:
+            row = {n: t[p] for n, p in positions.items()}
+            if self.formula.evaluate(row):
+                kept.append(t)
+        return XRelation(self.schema, kept, validated=True)
+
+    def render(self) -> str:
+        (child,) = self.children
+        return f"select[{self.formula.render()}]({child.render()})"
+
+    def symbol(self) -> str:
+        return f"σ[{self.formula.render()}]"
+
+    def _signature(self) -> tuple:
+        return (self.formula,)

@@ -1,0 +1,97 @@
+"""Set operators over X-Relations (Section 3.1.1).
+
+Union, intersection and difference apply to two X-Relations associated with
+the same schema (attributes, real/virtual partition and binding patterns);
+the result is over that same schema.  Definitions coincide with the
+standard relational ones at the tuple level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Union", "Intersection", "Difference"]
+
+
+class _SetOperator(Operator):
+    """Common machinery of the three set operators."""
+
+    __slots__ = ()
+
+    _SYMBOL = "?"
+    _NAME = "setop"
+
+    def __init__(self, left: Operator, right: Operator):
+        if left.is_stream or right.is_stream:
+            raise InvalidOperatorError(
+                f"{self._NAME}: operands must be finite (apply a window first)"
+            )
+        super().__init__((left, right))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        left, right = self.children
+        if not left.schema.compatible(right.schema):
+            raise InvalidOperatorError(
+                f"{self._NAME}: operand schemas are not compatible "
+                f"({left.schema!r} vs {right.schema!r})"
+            )
+        return left.schema.with_name(None)
+
+    def with_children(self, children: Sequence[Operator]) -> "_SetOperator":
+        left, right = children
+        return type(self)(left, right)
+
+    def render(self) -> str:
+        left, right = self.children
+        return f"{self._NAME}({left.render()}, {right.render()})"
+
+    def symbol(self) -> str:
+        return self._SYMBOL
+
+
+class Union(_SetOperator):
+    """``r1 ∪ r2 = {t | t ∈ r1 ∨ t ∈ r2}``."""
+
+    __slots__ = ()
+    _SYMBOL = "∪"
+    _NAME = "union"
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        left, right = self.children
+        return XRelation(
+            self.schema, left.evaluate(ctx).tuples | right.evaluate(ctx).tuples, validated=True
+        )
+
+
+class Intersection(_SetOperator):
+    """``r1 ∩ r2``."""
+
+    __slots__ = ()
+    _SYMBOL = "∩"
+    _NAME = "intersection"
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        left, right = self.children
+        return XRelation(
+            self.schema, left.evaluate(ctx).tuples & right.evaluate(ctx).tuples, validated=True
+        )
+
+
+class Difference(_SetOperator):
+    """``r1 − r2``."""
+
+    __slots__ = ()
+    _SYMBOL = "−"
+    _NAME = "difference"
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        left, right = self.children
+        return XRelation(
+            self.schema, left.evaluate(ctx).tuples - right.evaluate(ctx).tuples, validated=True
+        )

@@ -1,0 +1,99 @@
+"""The streaming operator S[type] (Section 4.2).
+
+``S[type]`` computes an infinite XD-Relation from a finite one by
+inserting, at every instant, the tuples that are inserted / deleted /
+present at this instant, depending on the operator ``type``:
+
+* ``S[insertion]`` — tuples that entered the operand at this instant,
+* ``S[deletion]`` — tuples that left the operand at this instant,
+* ``S[heartbeat]`` — all tuples present at this instant.
+
+Like the window operator, it does not modify the schema apart from its
+finite/infinite status.  A streaming operator at the root of a query makes
+the query result a stream (like Q4 of Table 4: a stream of photos).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.errors import InvalidOperatorError
+from repro.model.relation import XRelation
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["Streaming", "StreamType"]
+
+
+class StreamType(enum.Enum):
+    """The three kinds of streaming operators of Section 4.2."""
+
+    INSERTION = "insertion"
+    DELETION = "deletion"
+    HEARTBEAT = "heartbeat"
+
+    @classmethod
+    def from_name(cls, name: str) -> "StreamType":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise InvalidOperatorError(
+                f"unknown streaming type {name!r} "
+                f"(expected insertion, deletion or heartbeat)"
+            ) from None
+
+
+class Streaming(Operator):
+    """``S[type](r)`` over a finite XD-Relation."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, child: Operator, kind: StreamType | str = StreamType.INSERTION):
+        if child.is_stream:
+            raise InvalidOperatorError(
+                "streaming: operand must be a finite XD-Relation"
+            )
+        if isinstance(kind, str):
+            kind = StreamType.from_name(kind)
+        self.kind = kind
+        super().__init__((child,))
+
+    def _derive_schema(self) -> ExtendedRelationSchema:
+        (child,) = self.children
+        return child.schema
+
+    @property
+    def is_stream(self) -> bool:
+        return True
+
+    def with_children(self, children: Sequence[Operator]) -> "Streaming":
+        (child,) = children
+        return Streaming(child, self.kind)
+
+    def _compute(self, ctx: EvaluationContext) -> XRelation:
+        (child,) = self.children
+        if self.kind is StreamType.INSERTION:
+            return XRelation(self.schema, child.inserted(ctx), validated=True)
+        if self.kind is StreamType.DELETION:
+            return XRelation(self.schema, child.deleted(ctx), validated=True)
+        return XRelation(self.schema, child.evaluate(ctx).tuples, validated=True)
+
+    def inserted(self, ctx: EvaluationContext) -> frozenset[tuple]:
+        """Every tuple of the instantaneous result is an insertion: the
+        output stream is append-only (Section 4.1)."""
+        return self.evaluate(ctx).tuples
+
+    def deleted(self, ctx: EvaluationContext) -> frozenset[tuple]:
+        return frozenset()
+
+    def render(self) -> str:
+        (child,) = self.children
+        return f"stream[{self.kind.value}]({child.render()})"
+
+    def symbol(self) -> str:
+        return f"S[{self.kind.value}]"
+
+    def _signature(self) -> tuple:
+        return (self.kind,)

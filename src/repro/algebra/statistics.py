@@ -1,0 +1,145 @@
+"""Environment statistics for cost estimation.
+
+The paper lists "a formal definition of cost models dedicated to pervasive
+environments" as future work (Section 7).  :mod:`repro.algebra.cost` ships
+textbook defaults; this module collects *actual* statistics from an
+environment snapshot — per-relation cardinalities and per-attribute
+distinct counts — and derives selectivity estimates from them, System-R
+style:
+
+* ``A = constant``      → 1 / distinct(A)
+* ``A = B``             → 1 / max(distinct(A), distinct(B))
+* ``A < c`` etc.        → 1/3 (no histograms; a classic default)
+* ``contains``          → 1/10
+* ``¬F``                → 1 − sel(F);  ``F ∧ G`` → sel·sel;  ``F ∨ G`` →
+  inclusion–exclusion.
+
+Statistics are a snapshot at one instant — in a pervasive environment they
+drift as services come and go, so callers refresh them per optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.formula import And, Comparison, Formula, Not, Or, TrueFormula
+from repro.model.environment import PervasiveEnvironment
+
+__all__ = ["RelationStatistics", "EnvironmentStatistics", "collect_statistics"]
+
+#: Fallback selectivities (match the literature's defaults).
+RANGE_SELECTIVITY = 1.0 / 3.0
+CONTAINS_SELECTIVITY = 0.1
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Cardinality and per-real-attribute distinct counts of one relation."""
+
+    cardinality: int
+    distinct: dict[str, int] = field(default_factory=dict)
+
+    def distinct_of(self, attribute: str) -> int | None:
+        return self.distinct.get(attribute)
+
+
+class EnvironmentStatistics:
+    """Statistics for every relation of an environment snapshot."""
+
+    def __init__(self, relations: dict[str, RelationStatistics], instant: int):
+        self._relations = dict(relations)
+        self.instant = instant
+
+    def relation(self, name: str) -> RelationStatistics | None:
+        return self._relations.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    # -- selectivity estimation ------------------------------------------------
+
+    def distinct_anywhere(self, attribute: str) -> int | None:
+        """Max distinct count of ``attribute`` across relations (URSA: the
+        attribute denotes the same data everywhere)."""
+        counts = [
+            stats.distinct[attribute]
+            for stats in self._relations.values()
+            if attribute in stats.distinct
+        ]
+        return max(counts) if counts else None
+
+    def selectivity(self, formula: Formula) -> float:
+        """Estimated fraction of tuples satisfying ``formula``."""
+        if isinstance(formula, TrueFormula):
+            return 1.0
+        if isinstance(formula, Not):
+            return max(0.0, 1.0 - self.selectivity(formula.operand))
+        if isinstance(formula, And):
+            return self.selectivity(formula.left) * self.selectivity(formula.right)
+        if isinstance(formula, Or):
+            left = self.selectivity(formula.left)
+            right = self.selectivity(formula.right)
+            return min(1.0, left + right - left * right)
+        assert isinstance(formula, Comparison)
+        return self._comparison_selectivity(formula)
+
+    def _comparison_selectivity(self, comparison: Comparison) -> float:
+        if comparison.op == "=":
+            counts = []
+            if comparison.left_is_attr:
+                count = self.distinct_anywhere(str(comparison.left))
+                if count:
+                    counts.append(count)
+            if comparison.right_is_attr:
+                count = self.distinct_anywhere(str(comparison.right))
+                if count:
+                    counts.append(count)
+            if counts:
+                return 1.0 / max(counts)
+            return DEFAULT_EQ_SELECTIVITY
+        if comparison.op == "!=":
+            return 1.0 - self._comparison_selectivity(
+                Comparison(
+                    comparison.left,
+                    "=",
+                    comparison.right,
+                    comparison.left_is_attr,
+                    comparison.right_is_attr,
+                )
+            )
+        if comparison.op == "contains":
+            return CONTAINS_SELECTIVITY
+        return RANGE_SELECTIVITY
+
+    def __repr__(self) -> str:
+        return (
+            f"EnvironmentStatistics({len(self._relations)} relations "
+            f"@ instant {self.instant})"
+        )
+
+
+def collect_statistics(
+    environment: PervasiveEnvironment, instant: int = 0
+) -> EnvironmentStatistics:
+    """Scan every relation of the environment at ``instant``.
+
+    Infinite XD-Relations are skipped (their prefix cardinality is not a
+    useful estimate; windowed access dominates anyway).
+    """
+    relations: dict[str, RelationStatistics] = {}
+    for name in environment.relation_names:
+        stored = environment.relation(name)
+        if getattr(stored, "infinite", False):
+            continue
+        relation = environment.instantaneous(name, instant)
+        schema = relation.schema
+        distinct: dict[str, set] = {a.name: set() for a in schema.real_attributes}
+        for values in relation:
+            for attribute, value in zip(schema.real_attributes, values):
+                distinct[attribute.name].add(value)
+        relations[name] = RelationStatistics(
+            cardinality=len(relation),
+            distinct={name: len(values) for name, values in distinct.items()},
+        )
+    return EnvironmentStatistics(relations, instant)

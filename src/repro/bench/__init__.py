@@ -1,0 +1,21 @@
+"""Benchmark substrate: workload generators, measurement harness and
+report formatting (the hybrid-query benchmark the paper defers to the
+OPTIMACS project, Section 7)."""
+
+from repro.bench.harness import RunStats, measure_run
+from repro.bench.reporting import Report, format_table
+from repro.bench.workloads import (
+    RandomEnvironment,
+    build_surveillance_workload,
+    random_environment,
+)
+
+__all__ = [
+    "RandomEnvironment",
+    "Report",
+    "RunStats",
+    "build_surveillance_workload",
+    "format_table",
+    "measure_run",
+    "random_environment",
+]

@@ -1,0 +1,96 @@
+"""Measurement harness for scenario and scalability benchmarks.
+
+Drives a scenario's clock for a number of instants while sampling:
+
+* wall-clock latency per tick (the cost of one full PEMS cycle: stream
+  ingestion + discovery sync + continuous query evaluation),
+* service invocations performed (from the registry counter),
+* stream tuples produced and messages sent.
+
+Results come back as a :class:`RunStats` with simple percentile helpers,
+which the benchmark files format through :mod:`repro.bench.reporting`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.devices.scenario import Scenario
+
+__all__ = ["RunStats", "measure_run"]
+
+
+@dataclass
+class RunStats:
+    """Aggregated measurements of one scenario run."""
+
+    instants: int
+    tick_seconds: list[float] = field(default_factory=list)
+    invocations: int = 0
+    stream_tuples: int = 0
+    messages: int = 0
+    actions: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.tick_seconds)
+
+    @property
+    def ticks_per_second(self) -> float:
+        total = self.total_seconds
+        return self.instants / total if total > 0 else float("inf")
+
+    @property
+    def mean_tick_ms(self) -> float:
+        return 1000.0 * statistics.fmean(self.tick_seconds) if self.tick_seconds else 0.0
+
+    def percentile_tick_ms(self, fraction: float) -> float:
+        """Tick latency percentile in milliseconds (e.g. 0.95)."""
+        if not self.tick_seconds:
+            return 0.0
+        ordered = sorted(self.tick_seconds)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return 1000.0 * ordered[index]
+
+    @property
+    def invocations_per_instant(self) -> float:
+        return self.invocations / self.instants if self.instants else 0.0
+
+
+def measure_run(
+    scenario: Scenario,
+    instants: int,
+    stream_relation: str = "temperatures",
+) -> RunStats:
+    """Run ``scenario`` for ``instants`` ticks and measure everything.
+
+    The registry invocation counter is reset at the start, so the counts
+    cover exactly this run.
+    """
+    registry = scenario.environment.registry
+    registry.reset_invocation_count()
+    stats = RunStats(instants)
+
+    stream = None
+    if stream_relation in scenario.environment:
+        stream = scenario.environment.relation(stream_relation)
+    tuples_before = len(stream) if stream is not None else 0
+    messages_before = len(scenario.outbox)
+    actions_before = sum(
+        len(cq.action_log) for cq in scenario.queries.values()
+    )
+
+    for _ in range(instants):
+        started = time.perf_counter()
+        scenario.pems.tick()
+        stats.tick_seconds.append(time.perf_counter() - started)
+
+    stats.invocations = registry.invocation_count
+    stats.stream_tuples = (len(stream) - tuples_before) if stream is not None else 0
+    stats.messages = len(scenario.outbox) - messages_before
+    stats.actions = (
+        sum(len(cq.action_log) for cq in scenario.queries.values()) - actions_before
+    )
+    return stats

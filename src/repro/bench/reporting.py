@@ -1,0 +1,86 @@
+"""Uniform report formatting for the benchmark suite.
+
+Every benchmark prints its result through these helpers so the output of
+``pytest benchmarks/ --benchmark-only`` reads like the paper's tables, and
+mirrors each report into ``benchmarks/reports/<name>.txt`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["format_table", "Report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table with a separator line under the header."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in text_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Report:
+    """Accumulates a benchmark's textual report; prints and persists it."""
+
+    def __init__(self, name: str, directory: str | None = None):
+        self.name = name
+        if directory is None:
+            directory = os.path.join(os.path.dirname(__file__), "..", "..", "..")
+            directory = os.path.normpath(
+                os.path.join(directory, "benchmarks", "reports")
+            )
+        self.directory = directory
+        self._sections: list[str] = []
+
+    def add(self, text: str) -> None:
+        self._sections.append(text)
+
+    def table(
+        self,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        title: str | None = None,
+    ) -> None:
+        self.add(format_table(headers, rows, title))
+
+    def render(self) -> str:
+        header = f"== {self.name} =="
+        return "\n\n".join([header, *self._sections])
+
+    def emit(self) -> str:
+        """Print the report and write it under ``benchmarks/reports/``."""
+        text = self.render()
+        print("\n" + text)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            path = os.path.join(self.directory, f"{self.name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError:
+            pass  # reports are best-effort; the printout is authoritative
+        return text

@@ -1,0 +1,374 @@
+"""An interactive shell for PEMS: DDL, Serena SQL, SAL and inspection.
+
+Run ``python -m repro`` for an interactive session, or
+``python -m repro script.serena`` to execute a script.  Statements:
+
+* Serena DDL — ``PROTOTYPE``, ``EXTENDED RELATION/STREAM``, ``SERVICE``,
+  ``INSERT INTO``, ``DELETE FROM`` (terminated by ``;``);
+* ``SELECT ...;`` — a one-shot Serena SQL query, evaluated now;
+* ``REGISTER <name> AS SELECT ...;`` — register a continuous SQL query;
+* dot-commands (single line, no semicolon):
+
+  ========================  ==========================================
+  ``.help``                 this text
+  ``.catalog``              prototypes, services, relations, queries
+  ``.show <relation>``      print a relation's instantaneous contents
+  ``.tick [n]``             advance the virtual clock by n instants
+  ``.queries``              list registered continuous queries
+  ``.result <name>``        last result of a continuous query
+  ``.actions <name>``       cumulative action set of a continuous query
+  ``.explain SELECT ...``   the compiled plan of a SQL query
+  ``.profile SELECT ...``   run the query; per-operator tuple counts
+  ``.optimize SELECT ...``  the plan before/after cost-based optimization
+  ``.stats``                relation cardinalities and distinct counts
+  ``.sal <expr>``           evaluate a Serena Algebra Language expression
+  ``.rule head(x) :- ...``  evaluate a conjunctive-calculus rule
+  ``.demo temperature|rss`` load a ready-made §5.2 scenario
+  ``.quit``                 leave
+  ========================  ==========================================
+
+The shell is deliberately free of simulation magic: without ``.demo`` you
+get an empty PEMS, and DDL ``SERVICE`` statements only *declare* services
+(implementations must be bound programmatically — or use a demo scenario).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, TextIO
+
+from repro.errors import SerenaError
+from repro.lang.sal import parse_query
+from repro.lang.sql import compile_sql
+from repro.pems.pems import PEMS
+
+__all__ = ["SerenaShell", "main"]
+
+_DDL_KEYWORDS = ("PROTOTYPE", "EXTENDED", "SERVICE", "INSERT", "DELETE")
+
+
+class SerenaShell:
+    """Statement dispatcher over one PEMS instance."""
+
+    def __init__(self, pems: PEMS | None = None, out: TextIO | None = None):
+        self.pems = pems if pems is not None else PEMS()
+        self.out = out if out is not None else sys.stdout
+        self._scenario = None
+        self._running = True
+        self._commands: dict[str, Callable[[str], None]] = {
+            "help": self._cmd_help,
+            "catalog": self._cmd_catalog,
+            "show": self._cmd_show,
+            "tick": self._cmd_tick,
+            "queries": self._cmd_queries,
+            "result": self._cmd_result,
+            "actions": self._cmd_actions,
+            "explain": self._cmd_explain,
+            "profile": self._cmd_profile,
+            "optimize": self._cmd_optimize,
+            "stats": self._cmd_stats,
+            "sal": self._cmd_sal,
+            "rule": self._cmd_rule,
+            "demo": self._cmd_demo,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }
+
+    # -- output -----------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- statement dispatch ---------------------------------------------------------
+
+    def execute(self, statement: str) -> None:
+        """Execute one statement (dot-command or ';'-terminated text)."""
+        statement = statement.strip()
+        if not statement:
+            return
+        try:
+            if statement.startswith("."):
+                self._dispatch_command(statement)
+            else:
+                self._dispatch_statement(statement)
+        except SerenaError as exc:
+            self._print(f"error: {exc}")
+
+    def _dispatch_command(self, line: str) -> None:
+        name, _, argument = line[1:].partition(" ")
+        handler = self._commands.get(name.lower())
+        if handler is None:
+            self._print(f"unknown command .{name} — try .help")
+            return
+        handler(argument.strip())
+
+    def _dispatch_statement(self, statement: str) -> None:
+        head = statement.split(None, 1)[0].upper()
+        if head == "SELECT":
+            self._run_sql(statement)
+        elif head == "REGISTER":
+            self._register(statement)
+        elif head in _DDL_KEYWORDS:
+            results = self.pems.execute_ddl(statement)
+            for result in results:
+                self._print(f"ok: {result!r}")
+        else:
+            self._print(
+                f"unrecognized statement {head!r} — "
+                "expected SELECT, REGISTER or DDL; try .help"
+            )
+
+    # -- statement handlers ------------------------------------------------------------
+
+    def _run_sql(self, text: str) -> None:
+        result = self.pems.queries.execute_sql(text)
+        self._print(result.relation.to_table())
+        if result.actions:
+            self._print(f"actions: {result.actions}")
+
+    def _register(self, text: str) -> None:
+        rest = text.split(None, 1)[1] if " " in text else ""
+        name, _, body = rest.partition(" ")
+        body = body.strip()
+        if not name or not body.upper().startswith("AS "):
+            self._print("usage: REGISTER <name> AS SELECT ...;")
+            return
+        sql = body[3:].strip().rstrip(";")
+        self.pems.queries.register_continuous_sql(sql, name=name)
+        self._print(f"registered continuous query {name!r}")
+
+    # -- dot-commands --------------------------------------------------------------------
+
+    def _cmd_help(self, argument: str) -> None:
+        self._print(__doc__ or "")
+
+    def _cmd_catalog(self, argument: str) -> None:
+        self._print(self.pems.describe())
+
+    def _cmd_show(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .show <relation>")
+            return
+        relation = self.pems.environment.instantaneous(
+            argument, self.pems.clock.now
+        )
+        self._print(relation.to_table())
+
+    def _cmd_tick(self, argument: str) -> None:
+        try:
+            instants = int(argument) if argument else 1
+        except ValueError:
+            self._print("usage: .tick [n]")
+            return
+        self.pems.run(instants)
+        self._print(f"now at instant {self.pems.clock.now}")
+
+    def _cmd_queries(self, argument: str) -> None:
+        queries = self.pems.queries.continuous_queries
+        if not queries:
+            self._print("(no continuous queries registered)")
+        for name in sorted(queries):
+            self._print(f"{name}: {queries[name].query.render()}")
+
+    def _cmd_result(self, argument: str) -> None:
+        continuous = self.pems.queries.continuous_query(argument)
+        if continuous.last_result is None:
+            self._print("(not evaluated yet — .tick first)")
+            return
+        self._print(continuous.last_result.relation.to_table())
+
+    def _cmd_actions(self, argument: str) -> None:
+        continuous = self.pems.queries.continuous_query(argument)
+        actions = continuous.actions
+        self._print(actions.describe() if actions else "(no actions yet)")
+
+    def _cmd_explain(self, argument: str) -> None:
+        from repro.lang.printer import explain
+
+        query = compile_sql(argument.rstrip(";"), self.pems.environment)
+        self._print(explain(query))
+
+    def _cmd_profile(self, argument: str) -> None:
+        query = compile_sql(argument.rstrip(";"), self.pems.environment)
+        profile = query.profile(self.pems.environment, self.pems.clock.now)
+        self._print(profile.render())
+        self._print(profile.result.relation.to_table())
+
+    def _cmd_optimize(self, argument: str) -> None:
+        from repro.algebra.cost import CostModel
+        from repro.algebra.optimizer import Optimizer
+        from repro.algebra.statistics import collect_statistics
+        from repro.lang.printer import explain
+
+        query = compile_sql(argument.rstrip(";"), self.pems.environment)
+        statistics = collect_statistics(self.pems.environment, self.pems.clock.now)
+        model = CostModel(
+            self.pems.environment,
+            instant=self.pems.clock.now,
+            statistics=statistics,
+        )
+        outcome = Optimizer(model).optimize(query)
+        self._print("-- original plan --")
+        self._print(explain(query))
+        self._print(
+            f"estimated cost: {outcome.original_cost.total:,.0f} "
+            f"(invocations {outcome.original_cost.invocations:,.0f})"
+        )
+        self._print("-- optimized plan --")
+        self._print(explain(outcome.query))
+        self._print(
+            f"estimated cost: {outcome.cost.total:,.0f} "
+            f"(invocations {outcome.cost.invocations:,.0f}); "
+            f"{outcome.plans_explored} plans explored, "
+            f"x{outcome.improvement:.2f} better"
+        )
+
+    def _cmd_stats(self, argument: str) -> None:
+        from repro.algebra.statistics import collect_statistics
+
+        statistics = collect_statistics(self.pems.environment, self.pems.clock.now)
+        shown = False
+        for name in self.pems.environment.relation_names:
+            relation_stats = statistics.relation(name)
+            if relation_stats is None:
+                self._print(f"{name}: (stream — not profiled)")
+                continue
+            distinct = ", ".join(
+                f"{attr}={count}"
+                for attr, count in sorted(relation_stats.distinct.items())
+            )
+            self._print(
+                f"{name}: {relation_stats.cardinality} tuples; distinct: {distinct}"
+            )
+            shown = True
+        if not shown and not self.pems.environment.relation_names:
+            self._print("(no relations)")
+
+    def _cmd_sal(self, argument: str) -> None:
+        query = parse_query(argument.rstrip(";"), self.pems.environment)
+        result = self.pems.queries.execute(query)
+        self._print(result.relation.to_table())
+        if result.actions:
+            self._print(f"actions: {result.actions}")
+
+    def _cmd_rule(self, argument: str) -> None:
+        from repro.lang.datalog import compile_rule
+
+        query = compile_rule(argument, self.pems.environment)
+        result = self.pems.queries.execute(query)
+        self._print(result.relation.to_table())
+
+    def _cmd_demo(self, argument: str) -> None:
+        from repro.devices.scenario import (
+            build_rss_scenario,
+            build_temperature_surveillance,
+        )
+
+        if argument == "temperature":
+            self._scenario = build_temperature_surveillance()
+        elif argument == "rss":
+            self._scenario = build_rss_scenario()
+        else:
+            self._print("usage: .demo temperature|rss")
+            return
+        self.pems = self._scenario.pems
+        self._print(
+            f"loaded the {argument} scenario "
+            f"({len(self.pems.environment.registry)} services, "
+            f"{len(self.pems.environment.relation_names)} relations); "
+            ".tick to advance"
+        )
+
+    def _cmd_quit(self, argument: str) -> None:
+        self._running = False
+
+    # -- script execution ------------------------------------------------------------------
+
+    def run_script(self, text: str) -> None:
+        """Execute a script: dot-commands are one per line, other
+        statements run until their terminating ``;``."""
+        for statement in split_statements(text):
+            self.execute(statement)
+            if not self._running:
+                break
+
+
+def split_statements(text: str) -> list[str]:
+    """Split script text into statements.
+
+    Lines starting with ``.`` are single statements; ``--`` comments are
+    dropped; anything else accumulates until a ``;`` outside a string
+    literal.
+    """
+    statements: list[str] = []
+    buffer: list[str] = []
+    in_string = False
+    for raw_line in text.splitlines():
+        line = raw_line if in_string else _strip_comment(raw_line)
+        stripped = line.strip()
+        if not in_string and not "".join(buffer).strip():
+            buffer = []  # drop stray whitespace between statements
+            if not stripped:
+                continue
+            if stripped.startswith("."):
+                statements.append(stripped)
+                continue
+        for ch in line:
+            buffer.append(ch)
+            if ch == "'":
+                in_string = not in_string
+            elif ch == ";" and not in_string:
+                statements.append("".join(buffer).strip())
+                buffer = []
+        buffer.append("\n")
+    tail = "".join(buffer).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def _strip_comment(line: str) -> str:
+    # naive but safe enough: '--' inside string literals is rare in scripts;
+    # quote-aware scan keeps it correct.
+    out = []
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "'":
+            in_string = not in_string
+        if not in_string and line.startswith("--", i):
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = SerenaShell()
+    if argv:
+        with open(argv[0], encoding="utf-8") as handle:
+            shell.run_script(handle.read())
+        return 0
+    print("Serena shell — .help for commands, .quit to leave")
+    buffer = ""
+    while shell.running:
+        try:
+            prompt = "serena> " if not buffer else "   ...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        if not buffer and line.strip().startswith("."):
+            shell.execute(line.strip())
+            continue
+        buffer += line + "\n"
+        if ";" in line:
+            shell.execute(buffer)
+            buffer = ""
+    return 0

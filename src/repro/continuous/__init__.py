@@ -1,0 +1,8 @@
+"""Continuous extension (Section 4): discrete time, XD-Relations and
+continuous queries."""
+
+from repro.continuous.continuous_query import ContinuousQuery
+from repro.continuous.time import VirtualClock
+from repro.continuous.xdrelation import XDRelation
+
+__all__ = ["ContinuousQuery", "VirtualClock", "XDRelation"]

@@ -1,0 +1,126 @@
+"""Continuous queries over XD-Relations (Section 4.2).
+
+A continuous query re-evaluates a Serena plan at every time instant,
+keeping per-node state across instants in a persistent evaluation context:
+
+* the invocation operator's cache, so that "a binding pattern is actually
+  invoked only for newly inserted tuples, and not for every tuple from the
+  relation at each time instant";
+* window buffers and delta bookkeeping for the W and S operators.
+
+The result of each tick is a :class:`~repro.algebra.query.QueryResult`; if
+the query's last operator is a streaming operator (like Q4 of Table 4),
+the per-tick relation is the stream's emission at that instant and
+:attr:`ContinuousQuery.emitted` accumulates the output stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra.actions import Action, ActionSet
+from repro.algebra.context import EvaluationContext
+from repro.algebra.query import Query, QueryResult
+from repro.errors import SerenaError
+from repro.model.environment import PervasiveEnvironment
+
+__all__ = ["ContinuousQuery"]
+
+
+class ContinuousQuery:
+    """A registered continuous query with persistent evaluation state."""
+
+    def __init__(
+        self,
+        query: Query,
+        environment: PervasiveEnvironment,
+        keep_history: bool = False,
+    ):
+        self.query = query
+        self.environment = environment
+        self._states: dict[int, dict[str, Any]] = {}
+        self._last_instant = -1
+        self._last_result: QueryResult | None = None
+        self._all_actions: list[Action] = []
+        self._emitted: list[tuple[int, tuple]] = []
+        self._history: list[QueryResult] | None = [] if keep_history else None
+        self._listeners: list[Callable[[QueryResult], None]] = []
+
+    # -- observation -------------------------------------------------------------
+
+    def on_result(self, listener: Callable[[QueryResult], None]) -> None:
+        """Register a callback fired after each evaluation (real-time
+        consumers: GUIs, alert sinks...)."""
+        self._listeners.append(listener)
+
+    @property
+    def last_result(self) -> QueryResult | None:
+        return self._last_result
+
+    @property
+    def history(self) -> list[QueryResult]:
+        if self._history is None:
+            raise SerenaError(
+                "history was not enabled; construct with keep_history=True"
+            )
+        return list(self._history)
+
+    @property
+    def actions(self) -> ActionSet:
+        """All actions triggered since registration (cumulative)."""
+        return ActionSet(self._all_actions)
+
+    @property
+    def action_log(self) -> list[Action]:
+        """All actions in trigger order (with duplicates, unlike the set)."""
+        return list(self._all_actions)
+
+    @property
+    def emitted(self) -> list[tuple[int, tuple]]:
+        """For stream-producing queries: the accumulated (instant, tuple)
+        output stream."""
+        return list(self._emitted)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate_at(self, instant: int) -> QueryResult:
+        """Evaluate the query at ``instant`` (must be non-decreasing)."""
+        if instant < self._last_instant:
+            raise SerenaError(
+                f"continuous query {self.query.name!r}: evaluation instants "
+                f"must be non-decreasing (got {instant} after "
+                f"{self._last_instant})"
+            )
+        ctx = EvaluationContext(
+            self.environment, instant, self._states, continuous=True
+        )
+        result = self.query.evaluate_in(ctx)
+        self._last_instant = instant
+        self._last_result = result
+        self._all_actions.extend(
+            sorted(
+                result.actions,
+                key=lambda a: (
+                    a.binding_pattern.prototype.name,
+                    str(a.service),
+                    tuple(repr(v) for v in a.inputs),
+                ),
+            )
+        )
+        if self.query.is_stream:
+            self._emitted.extend((instant, t) for t in result.relation)
+        if self._history is not None:
+            self._history.append(result)
+        for listener in list(self._listeners):
+            listener(result)
+        return result
+
+    def run(self, instants: range) -> list[QueryResult]:
+        """Evaluate at every instant of ``instants``; returns all results."""
+        return [self.evaluate_at(instant) for instant in instants]
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousQuery({self.query.name or self.query.render()}, "
+            f"last instant {self._last_instant})"
+        )

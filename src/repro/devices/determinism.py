@@ -1,0 +1,47 @@
+"""Deterministic pseudo-randomness for simulated devices.
+
+Services must be deterministic at a given instant (Section 3.2): invoking
+the same service with the same input at the same instant must return the
+same value, whatever the invocation order.  Simulated devices therefore
+derive all their "noise" from a stable hash of ``(seed, instant, ...)``
+instead of a stateful RNG — re-invocation, query rewriting and repeated
+benchmark runs all see identical behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["stable_unit", "stable_gauss_like", "stable_int", "stable_choice"]
+
+
+def _digest(*parts: object) -> bytes:
+    key = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(key.encode("utf-8")).digest()
+
+
+def stable_unit(*parts: object) -> float:
+    """A deterministic float in [0, 1) derived from ``parts``."""
+    (value,) = struct.unpack(">Q", _digest(*parts)[:8])
+    return value / 2**64
+
+
+def stable_int(bound: int, *parts: object) -> int:
+    """A deterministic integer in [0, bound) derived from ``parts``."""
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    (value,) = struct.unpack(">Q", _digest(*parts)[8:16])
+    return value % bound
+
+
+def stable_gauss_like(*parts: object) -> float:
+    """A deterministic value roughly in [−1, 1] with a bell-ish shape
+    (average of three independent uniforms, rescaled)."""
+    u = sum(stable_unit(i, *parts) for i in range(3)) / 3.0
+    return (u - 0.5) * 2.0
+
+
+def stable_choice(options: list, *parts: object):
+    """A deterministic element of ``options`` derived from ``parts``."""
+    return options[stable_int(len(options), *parts)]

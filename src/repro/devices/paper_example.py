@@ -1,0 +1,92 @@
+"""The paper's running example (Examples 1–4) as a ready-made environment.
+
+Unlike the full PEMS scenarios of :mod:`repro.devices.scenario`, this is a
+bare :class:`PervasiveEnvironment` — no clock, no discovery — holding the
+Table 1 prototypes, the nine services and the Table 2 X-Relations, plus
+the ``sensors`` table of the motivating example.  Tests, benchmarks and
+docs all start from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.cameras import Camera
+from repro.devices.messengers import Messenger, Outbox, email_service, jabber_service
+from repro.devices.prototypes import STANDARD_PROTOTYPES
+from repro.devices.scenario import cameras_schema, contacts_schema, sensors_schema
+from repro.devices.sensors import TemperatureSensor
+from repro.model.environment import PervasiveEnvironment
+from repro.model.relation import XRelation
+
+__all__ = ["PaperExample", "build_paper_example", "CONTACT_ROWS", "CAMERA_SPECS", "SENSOR_SPECS"]
+
+CONTACT_ROWS = [
+    {"name": "Nicolas", "address": "nicolas@elysee.fr", "messenger": "email"},
+    {"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"},
+    {"name": "Francois", "address": "francois@im.gouv.fr", "messenger": "jabber"},
+]
+
+CAMERA_SPECS = [
+    ("camera01", "office", 8, 0.4),
+    ("camera02", "corridor", 6, 0.6),
+    ("webcam07", "roof", 4, 1.2),
+]
+
+SENSOR_SPECS = [
+    ("sensor01", "corridor", 19.0),
+    ("sensor06", "office", 21.0),
+    ("sensor07", "office", 21.5),
+    ("sensor22", "roof", 15.0),
+]
+
+
+@dataclass
+class PaperExample:
+    """The Example 1–4 environment, with device handles for assertions."""
+
+    environment: PervasiveEnvironment
+    outbox: Outbox
+    cameras: dict[str, Camera] = field(default_factory=dict)
+    sensors: dict[str, TemperatureSensor] = field(default_factory=dict)
+    messengers: dict[str, Messenger] = field(default_factory=dict)
+
+
+def build_paper_example() -> PaperExample:
+    """Build a fresh copy of the Examples 1–4 environment."""
+    env = PervasiveEnvironment()
+    for prototype in STANDARD_PROTOTYPES:
+        env.declare_prototype(prototype)
+
+    outbox = Outbox()
+    handle = PaperExample(env, outbox)
+
+    for messenger in (email_service(outbox), jabber_service(outbox)):
+        handle.messengers[messenger.reference] = messenger
+        env.register_service(messenger.as_service())
+    for reference, area, quality, delay in CAMERA_SPECS:
+        camera = Camera(reference, area, quality, delay)
+        handle.cameras[reference] = camera
+        env.register_service(camera.as_service())
+    for reference, location, base in SENSOR_SPECS:
+        sensor = TemperatureSensor(reference, location, base)
+        handle.sensors[reference] = sensor
+        env.register_service(sensor.as_service())
+
+    env.add_relation(XRelation.from_mappings(contacts_schema(), CONTACT_ROWS))
+    env.add_relation(
+        XRelation.from_mappings(
+            cameras_schema(),
+            [{"camera": ref, "area": area} for ref, area, _, _ in CAMERA_SPECS],
+        )
+    )
+    env.add_relation(
+        XRelation.from_mappings(
+            sensors_schema(),
+            [
+                {"sensor": ref, "location": location}
+                for ref, location, _ in SENSOR_SPECS
+            ],
+        )
+    )
+    return handle

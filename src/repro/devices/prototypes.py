@@ -1,0 +1,75 @@
+"""The standard prototypes of the temperature surveillance scenario
+(Table 1), plus the RSS scenario's prototype, as reusable declarations.
+
+::
+
+    PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+    PROTOTYPE checkPhoto( area STRING ) : ( quality INTEGER, delay REAL );
+    PROTOTYPE takePhoto( area STRING, quality INTEGER ) : ( photo BLOB );
+    PROTOTYPE getTemperature( ) : ( temperature REAL );
+"""
+
+from __future__ import annotations
+
+from repro.model.prototypes import Prototype
+from repro.model.schema import RelationSchema
+
+__all__ = [
+    "SEND_MESSAGE",
+    "SEND_PHOTO_MESSAGE",
+    "CHECK_PHOTO",
+    "TAKE_PHOTO",
+    "GET_TEMPERATURE",
+    "FETCH_ITEMS",
+    "STANDARD_PROTOTYPES",
+]
+
+SEND_MESSAGE = Prototype(
+    "sendMessage",
+    RelationSchema.of(address="STRING", text="STRING"),
+    RelationSchema.of(sent="BOOLEAN"),
+    active=True,
+)
+
+#: §5.2 mentions contacts got "an additional attribute allowing to send a
+#: picture with a message" — this is the corresponding prototype.
+SEND_PHOTO_MESSAGE = Prototype(
+    "sendPhotoMessage",
+    RelationSchema.of(address="STRING", text="STRING", photo="BLOB"),
+    RelationSchema.of(sent="BOOLEAN"),
+    active=True,
+)
+
+CHECK_PHOTO = Prototype(
+    "checkPhoto",
+    RelationSchema.of(area="STRING"),
+    RelationSchema.of(quality="INTEGER", delay="REAL"),
+)
+
+TAKE_PHOTO = Prototype(
+    "takePhoto",
+    RelationSchema.of(area="STRING", quality="INTEGER"),
+    RelationSchema.of(photo="BLOB"),
+)
+
+GET_TEMPERATURE = Prototype(
+    "getTemperature",
+    RelationSchema(()),
+    RelationSchema.of(temperature="REAL"),
+)
+
+#: RSS wrapper prototype (Section 5.2, second scenario): fetch the current
+#: items of a feed.
+FETCH_ITEMS = Prototype(
+    "fetchItems",
+    RelationSchema(()),
+    RelationSchema.of(title="STRING", published="TIMESTAMP"),
+)
+
+STANDARD_PROTOTYPES = (
+    SEND_MESSAGE,
+    SEND_PHOTO_MESSAGE,
+    CHECK_PHOTO,
+    TAKE_PHOTO,
+    GET_TEMPERATURE,
+)

@@ -1,0 +1,143 @@
+"""Simulated temperature sensors (substitute for the Thermochron iButton
+DS1921 sensors of Section 5.2).
+
+A :class:`TemperatureSensor` implements the ``getTemperature`` prototype
+with a deterministic thermal model:
+
+* a per-sensor base temperature (its location's ambient),
+* a slow diurnal drift,
+* small deterministic measurement noise,
+* scriptable *heating episodes* (:meth:`TemperatureSensor.heat`) that
+  raise the reading over an instant range — the simulation analogue of the
+  authors heating physical sensors to trigger the surveillance scenario.
+
+A :class:`SensorStreamFeeder` pushes periodic readings from a set of
+sensors into a ``temperatures`` stream, like the paper's sensors
+"periodically providing temperatures associated with locations".  It reads
+through the service registry, so a sensor that disappears from the
+registry silently stops feeding the stream — no query restart needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.determinism import stable_gauss_like
+from repro.devices.prototypes import GET_TEMPERATURE
+from repro.model.services import Service, ServiceRegistry
+
+__all__ = ["TemperatureSensor", "SensorStreamFeeder"]
+
+
+@dataclass(frozen=True)
+class _HeatEpisode:
+    start: int
+    end: int
+    peak: float  # added degrees at the episode's plateau
+
+
+class TemperatureSensor:
+    """A deterministic simulated temperature sensor.
+
+    Parameters
+    ----------
+    reference:
+        The service reference (e.g. ``"sensor01"``).
+    location:
+        Where the sensor is (exposed as a discovery property).
+    base:
+        Ambient temperature around which readings fluctuate.
+    noise:
+        Amplitude (degrees) of per-instant measurement noise.
+    """
+
+    def __init__(
+        self,
+        reference: str,
+        location: str,
+        base: float = 20.0,
+        noise: float = 0.3,
+    ):
+        self.reference = reference
+        self.location = location
+        self.base = base
+        self.noise = noise
+        self._episodes: list[_HeatEpisode] = []
+
+    def heat(self, start: int, end: int, peak: float) -> None:
+        """Schedule a heating episode over instants [start, end].
+
+        The added temperature ramps linearly up to ``peak`` at the middle
+        of the episode, then back down — a deterministic heat-gun pass.
+        """
+        if end < start:
+            raise ValueError("heating episode must end after it starts")
+        self._episodes.append(_HeatEpisode(start, end, peak))
+
+    def temperature(self, instant: int) -> float:
+        """The reading at ``instant`` (pure function of the instant)."""
+        drift = 1.5 * stable_gauss_like(self.reference, "drift", instant // 60)
+        noise = self.noise * stable_gauss_like(self.reference, "noise", instant)
+        heating = 0.0
+        for episode in self._episodes:
+            if episode.start <= instant <= episode.end:
+                span = max(1, episode.end - episode.start)
+                progress = (instant - episode.start) / span
+                # triangular ramp: 0 → peak → 0
+                heating += episode.peak * (1.0 - abs(2.0 * progress - 1.0))
+        return round(self.base + drift + noise + heating, 2)
+
+    def as_service(self) -> Service:
+        """Wrap the sensor as a discoverable service."""
+
+        def get_temperature(inputs, instant):
+            return [{"temperature": self.temperature(instant)}]
+
+        return Service(
+            self.reference,
+            {GET_TEMPERATURE: get_temperature},
+            description=f"temperature sensor in {self.location}",
+            properties={"location": self.location},
+        )
+
+    def __repr__(self) -> str:
+        return f"TemperatureSensor({self.reference!r} @ {self.location!r})"
+
+
+class SensorStreamFeeder:
+    """Per-tick producer of the ``temperatures`` stream.
+
+    At every instant that is a multiple of ``period``, it invokes
+    ``getTemperature`` on every currently registered sensor service and
+    inserts ``(sensor, location, temperature, at)`` rows into the stream.
+    Register it with :meth:`repro.pems.pems.PEMS.add_stream_source`.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        insert,  # Callable[[list[Mapping]], int]-like: rows → inserted count
+        period: int = 1,
+    ):
+        self.registry = registry
+        self.insert = insert
+        self.period = period
+
+    def __call__(self, instant: int) -> None:
+        if instant % self.period != 0:
+            return
+        rows = []
+        for service in self.registry.providers(GET_TEMPERATURE):
+            results = self.registry.invoke(GET_TEMPERATURE, service.reference, {}, instant)
+            location = str(service.properties.get("location", "unknown"))
+            for (temperature,) in results:
+                rows.append(
+                    {
+                        "sensor": service.reference,
+                        "location": location,
+                        "temperature": temperature,
+                        "at": instant,
+                    }
+                )
+        if rows:
+            self.insert(rows)

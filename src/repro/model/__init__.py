@@ -1,0 +1,34 @@
+"""Data-model substrate: relational pervasive environments (Section 2).
+
+Public names::
+
+    DataType, Attribute, RelationSchema, ExtendedRelationSchema,
+    XRelation, Prototype, Service, ServiceRegistry, BindingPattern,
+    PervasiveEnvironment
+"""
+
+from repro.model.attributes import Attribute
+from repro.model.binding import BindingPattern
+from repro.model.environment import PervasiveEnvironment
+from repro.model.prototypes import Prototype
+from repro.model.relation import XRelation
+from repro.model.schema import RelationSchema
+from repro.model.services import MethodHandler, Service, ServiceRegistry
+from repro.model.types import DataType, coerce_value, validate_value
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = [
+    "Attribute",
+    "BindingPattern",
+    "DataType",
+    "ExtendedRelationSchema",
+    "MethodHandler",
+    "PervasiveEnvironment",
+    "Prototype",
+    "RelationSchema",
+    "Service",
+    "ServiceRegistry",
+    "XRelation",
+    "coerce_value",
+    "validate_value",
+]

@@ -1,0 +1,58 @@
+"""Attributes of relation schemas.
+
+An attribute is a name drawn from the countable set *A* of the paper
+(Section 2.3.1) together with a data type.  Whether an attribute is *real*
+or *virtual* is not a property of the attribute itself but of its position
+in a particular extended relation schema (the real/virtual partition of
+Definition 2) — e.g. the natural join can turn a virtual attribute of one
+operand into a real attribute of the result (Table 3d).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.model.types import DataType
+
+__all__ = ["Attribute"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, typed attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a valid identifier.  Under the Universal
+        Relation Schema Assumption (URSA, Section 2.3.2) the same name in
+        two schemas denotes the same data, so two attributes with equal
+        names must have equal types inside one environment.
+    dtype:
+        The attribute's data type.
+    """
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"invalid data type {self.dtype!r} for {self.name!r}")
+
+    @property
+    def is_service_reference(self) -> bool:
+        """True iff this attribute holds service references (SERVICE type)."""
+        return self.dtype is DataType.SERVICE
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute with another name (same type)."""
+        return Attribute(new_name, self.dtype)
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.dtype.value}"

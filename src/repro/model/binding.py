@@ -1,0 +1,98 @@
+"""Binding patterns (Section 2.2, Definition 2).
+
+A binding pattern is the relationship between service references, virtual
+attributes and prototypes.  It is a pair ``(prototype_bp, service_bp)``:
+
+* ``prototype_bp``: the prototype to invoke,
+* ``service_bp``: a *real* attribute of the extended relation schema whose
+  value, at the tuple level, is a service reference.
+
+Against a given extended relation schema ``R`` it must satisfy:
+
+* ``service_bp ∈ realSchema(R)``,
+* ``schema(Input_prototype) ⊆ schema(R)`` (inputs may be real or virtual),
+* ``schema(Output_prototype) ⊆ virtualSchema(R)`` (outputs are virtual).
+
+Validity is checked by the schema (see
+:meth:`repro.model.xschema.ExtendedRelationSchema`), not here, because the
+same binding pattern object may be valid for one schema and invalid for a
+derived one — the operators of Table 3 silently drop binding patterns that
+their output schema invalidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BindingPatternError
+from repro.model.prototypes import Prototype
+
+__all__ = ["BindingPattern"]
+
+
+@dataclass(frozen=True)
+class BindingPattern:
+    """A pair (prototype, service-reference attribute name)."""
+
+    prototype: Prototype
+    service_attribute: str
+
+    def __post_init__(self) -> None:
+        if not self.service_attribute:
+            raise BindingPatternError("binding pattern needs a service attribute")
+        if self.service_attribute in self.prototype.input_names:
+            raise BindingPatternError(
+                f"service attribute {self.service_attribute!r} cannot also be "
+                f"an input of prototype {self.prototype.name!r}"
+            )
+        if self.service_attribute in self.prototype.output_names:
+            raise BindingPatternError(
+                f"service attribute {self.service_attribute!r} cannot also be "
+                f"an output of prototype {self.prototype.name!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """``active(bp)``: true iff the associated prototype is active."""
+        return self.prototype.active
+
+    @property
+    def input_names(self) -> frozenset[str]:
+        """Input attribute names of the associated prototype."""
+        return self.prototype.input_names
+
+    @property
+    def output_names(self) -> frozenset[str]:
+        """Output attribute names of the associated prototype."""
+        return self.prototype.output_names
+
+    @property
+    def referenced_names(self) -> frozenset[str]:
+        """All schema attributes this binding pattern depends on."""
+        return self.input_names | self.output_names | {self.service_attribute}
+
+    def renamed(self, old: str, new: str) -> "BindingPattern":
+        """Binding pattern after renaming attribute ``old`` to ``new``.
+
+        Only the service-reference attribute can be tracked through a
+        renaming (Table 3c): prototype input/output schemas are fixed by the
+        prototype declaration, so renaming one of *those* attributes
+        invalidates the pattern — the caller (the renaming operator) is
+        responsible for dropping it in that case.
+        """
+        if self.service_attribute == old:
+            return BindingPattern(self.prototype, new)
+        return self
+
+    def describe(self) -> str:
+        """Render in the paper's DDL style:
+        ``sendMessage[messenger] ( address, text ) : ( sent )``."""
+        inputs = ", ".join(self.prototype.input_schema.names)
+        outputs = ", ".join(self.prototype.output_schema.names)
+        return (
+            f"{self.prototype.name}[{self.service_attribute}] "
+            f"( {inputs} ) : ( {outputs} )"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

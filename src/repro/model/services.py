@@ -1,0 +1,203 @@
+"""Services: implementations of prototypes (Sections 2.1 and 2.3.1).
+
+A service ``omega`` is defined by the finite set of prototypes it implements
+and by its *service reference* ``id(omega)``, a plain data value (a string
+here, as in Example 1: ``email``, ``camera01``, ``sensor22``...).  Methods
+provided by services remain implicit (Section 2.1): a prototype is invoked
+*on* a service and the service's method is transparently called.
+
+The invocation function of Definition 1 is realized by
+:meth:`ServiceRegistry.invoke`: given a prototype, a service reference and
+an input tuple, it returns a relation (a list of tuples) over the prototype
+output schema.  Invocations take the current time instant as a parameter so
+that services can be *deterministic at a given instant* (Section 3.2): the
+same invocation at the same instant always returns the same result,
+regardless of invocation order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import (
+    InvocationError,
+    PrototypeNotImplementedError,
+    SchemaError,
+    UnknownServiceError,
+)
+from repro.model.prototypes import Prototype
+
+__all__ = ["Service", "MethodHandler", "ServiceRegistry"]
+
+# A method takes the input parameters (by attribute name) and the current
+# time instant, and returns 0..n output tuples as mappings.
+MethodHandler = Callable[[Mapping[str, object], int], Sequence[Mapping[str, object]]]
+
+
+class Service:
+    """A registered service: a reference plus implemented prototypes.
+
+    Parameters
+    ----------
+    reference:
+        The service reference ``id(omega)``, a plain data value.
+    methods:
+        Mapping from :class:`Prototype` to the handler implementing it.
+        ``prototypes(omega)`` is the key set of this mapping.
+    description:
+        Optional human-readable description (shown by PEMS catalogs).
+    properties:
+        Static service metadata announced at discovery time (e.g. a
+        sensor's ``location`` or a camera's ``area``) — the values that
+        service discovery queries copy into X-Relations like the paper's
+        ``sensors`` and ``cameras`` tables.
+    """
+
+    __slots__ = ("reference", "_methods", "description", "properties")
+
+    def __init__(
+        self,
+        reference: str,
+        methods: Mapping[Prototype, MethodHandler],
+        description: str = "",
+        properties: Mapping[str, object] | None = None,
+    ):
+        if not isinstance(reference, str) or not reference:
+            raise SchemaError(f"invalid service reference {reference!r}")
+        self.reference = reference
+        self._methods = dict(methods)
+        self.description = description
+        self.properties = dict(properties) if properties else {}
+
+    @property
+    def prototypes(self) -> frozenset[Prototype]:
+        """``prototypes(omega)``: the prototypes this service implements."""
+        return frozenset(self._methods)
+
+    @property
+    def prototype_names(self) -> frozenset[str]:
+        return frozenset(p.name for p in self._methods)
+
+    def implements(self, prototype: Prototype) -> bool:
+        """True iff this service implements ``prototype``."""
+        return prototype in self._methods
+
+    def handler(self, prototype: Prototype) -> MethodHandler:
+        try:
+            return self._methods[prototype]
+        except KeyError:
+            raise PrototypeNotImplementedError(self.reference, prototype.name) from None
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.prototype_names))
+        return f"Service({self.reference!r} IMPLEMENTS {names})"
+
+
+class ServiceRegistry:
+    """The set of currently available services, keyed by reference.
+
+    In the full PEMS (see :mod:`repro.pems`), this registry is maintained by
+    the core Environment Resource Manager from discovery announcements; at
+    the model level it is a plain dynamic dictionary, reflecting that the
+    set of available services changes over time.
+    """
+
+    def __init__(self, services: Iterable[Service] = ()):
+        self._services: dict[str, Service] = {}
+        for service in services:
+            self.register(service)
+        self._invocation_count = 0
+
+    # -- registration (dynamic discovery feeds these) -----------------------
+
+    def register(self, service: Service) -> None:
+        """Add or replace a service (idempotent on the reference)."""
+        self._services[service.reference] = service
+
+    def unregister(self, reference: str) -> None:
+        """Remove a service; unknown references are ignored (a service may
+        disappear and be reaped twice in a dynamic environment)."""
+        self._services.pop(reference, None)
+
+    def get(self, reference: str) -> Service:
+        try:
+            return self._services[reference]
+        except KeyError:
+            raise UnknownServiceError(reference) from None
+
+    def __contains__(self, reference: object) -> bool:
+        return reference in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self):
+        return iter(self._services.values())
+
+    @property
+    def references(self) -> frozenset[str]:
+        return frozenset(self._services)
+
+    def providers(self, prototype: Prototype) -> list[Service]:
+        """All registered services implementing ``prototype``, sorted by
+        reference (deterministic order for discovery queries)."""
+        return sorted(
+            (s for s in self._services.values() if s.implements(prototype)),
+            key=lambda s: s.reference,
+        )
+
+    # -- invocation (Definition 1) -------------------------------------------
+
+    @property
+    def invocation_count(self) -> int:
+        """Total number of invocations performed through this registry.
+
+        Used by benchmarks to measure rewriting savings (Section 3.3).
+        """
+        return self._invocation_count
+
+    def reset_invocation_count(self) -> None:
+        self._invocation_count = 0
+
+    def invoke(
+        self,
+        prototype: Prototype,
+        reference: str,
+        inputs: Mapping[str, object],
+        instant: int,
+    ) -> list[tuple]:
+        """``invoke_psi(s, t)``: invoke ``prototype`` on the service
+        referenced by ``reference`` with input tuple ``inputs``.
+
+        Returns a list of value tuples over ``prototype.output_schema``
+        (0, 1 or several tuples, Section 2.1).  Raises
+        :class:`UnknownServiceError`, :class:`PrototypeNotImplementedError`
+        or :class:`InvocationError` on failure.
+        """
+        service = self.get(reference)
+        handler = service.handler(prototype)
+        expected = prototype.input_schema.name_set
+        provided = frozenset(inputs)
+        if provided != expected:
+            raise InvocationError(
+                f"invocation of {prototype.name!r} on {reference!r}: input "
+                f"attributes {sorted(provided)} do not match prototype input "
+                f"schema {sorted(expected)}"
+            )
+        self._invocation_count += 1
+        try:
+            rows = handler(dict(inputs), instant)
+        except Exception as exc:
+            raise InvocationError(
+                f"invocation of {prototype.name!r} on {reference!r} failed: {exc}"
+            ) from exc
+        results = []
+        for row in rows:
+            try:
+                results.append(prototype.output_schema.tuple_from_mapping(row))
+            except SchemaError as exc:
+                raise InvocationError(
+                    f"invocation of {prototype.name!r} on {reference!r} "
+                    f"returned an invalid output tuple {row!r}: {exc}"
+                ) from exc
+        return results

@@ -1,0 +1,24 @@
+"""PEMS: the Pervasive Environment Management System prototype (Section 5,
+Figure 1) — core ERM, Local ERMs, discovery bus, extended table manager and
+query processor over a shared virtual clock."""
+
+from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
+from repro.pems.erm import DiscoveryEvent, EnvironmentResourceManager
+from repro.pems.local_erm import LocalEnvironmentResourceManager
+from repro.pems.pems import PEMS
+from repro.pems.query_processor import DiscoveryQuery, QueryFailure, QueryProcessor
+from repro.pems.table_manager import ExtendedTableManager
+
+__all__ = [
+    "Announcement",
+    "AnnouncementKind",
+    "DiscoveryBus",
+    "DiscoveryEvent",
+    "DiscoveryQuery",
+    "QueryFailure",
+    "EnvironmentResourceManager",
+    "ExtendedTableManager",
+    "LocalEnvironmentResourceManager",
+    "PEMS",
+    "QueryProcessor",
+]

@@ -1,0 +1,73 @@
+"""Service discovery bus (simulated UPnP, Section 5.1 / Figure 1).
+
+In the paper's prototype, Local Environment Resource Managers announce
+their services over the network (UPnP) and the core Environment Resource
+Manager discovers them.  This module simulates that protocol in-process
+while preserving the dynamics that matter to the model:
+
+* services announce themselves with a *lease* (a validity duration in
+  clock instants) and renew it periodically — like UPnP's ``CACHE-CONTROL``;
+* a service that leaves politely sends a *bye* announcement;
+* a service that crashes simply stops renewing; its lease expires and the
+  core ERM reaps it — this is how "sensors that are deactivated (or
+  failing) [are] automatically removed" (Section 1.2).
+
+The bus itself is a plain publish/subscribe channel; lease bookkeeping is
+the subscriber's job (see :class:`repro.pems.erm.EnvironmentResourceManager`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.model.services import Service
+
+__all__ = ["AnnouncementKind", "Announcement", "DiscoveryBus"]
+
+
+class AnnouncementKind(enum.Enum):
+    """UPnP-style announcement types."""
+
+    ALIVE = "alive"  # ssdp:alive — service available, lease (re)starts
+    BYE = "bye"      # ssdp:byebye — service leaving gracefully
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """One discovery message on the bus."""
+
+    kind: AnnouncementKind
+    service: Service
+    origin: str          # the announcing Local ERM's identifier
+    lease: int = 0       # validity in instants (ALIVE only)
+    instant: int = 0     # when the announcement was sent
+
+
+Listener = Callable[[Announcement], None]
+
+
+class DiscoveryBus:
+    """In-process announcement channel between Local ERMs and the core ERM."""
+
+    def __init__(self):
+        self._listeners: list[Listener] = []
+        self._log: list[Announcement] = []
+
+    def subscribe(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        self._listeners = [l for l in self._listeners if l is not listener]
+
+    def publish(self, announcement: Announcement) -> None:
+        """Deliver to all subscribers, synchronously and in order."""
+        self._log.append(announcement)
+        for listener in list(self._listeners):
+            listener(announcement)
+
+    @property
+    def log(self) -> list[Announcement]:
+        """Every announcement ever published (diagnostics and tests)."""
+        return list(self._log)

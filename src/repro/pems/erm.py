@@ -1,0 +1,134 @@
+"""The core Environment Resource Manager (Figure 1, Section 5.1).
+
+The core ERM "handles network issues for service discovery and remote
+invocation": it listens to the discovery bus, maintains the global
+:class:`ServiceRegistry` with lease bookkeeping, reaps services whose
+leases expire, and performs invocations on behalf of the query processor —
+synchronously or asynchronously (the paper's query processor handles
+service invocations asynchronously, relying on the core ERM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.continuous.time import VirtualClock
+from repro.model.prototypes import Prototype
+from repro.model.services import Service, ServiceRegistry
+from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
+
+__all__ = ["EnvironmentResourceManager", "DiscoveryEvent"]
+
+
+@dataclass(frozen=True)
+class DiscoveryEvent:
+    """A change in the set of available services."""
+
+    kind: str  # "appeared" | "left" | "expired"
+    service: Service
+    instant: int
+
+
+class EnvironmentResourceManager:
+    """Global service discovery and invocation hub."""
+
+    def __init__(
+        self,
+        bus: DiscoveryBus,
+        clock: VirtualClock,
+        registry: ServiceRegistry | None = None,
+    ):
+        self.bus = bus
+        self.clock = clock
+        self.registry = registry if registry is not None else ServiceRegistry()
+        self._expiry: dict[str, int] = {}
+        self._listeners: list[Callable[[DiscoveryEvent], None]] = []
+        self._pending: list[tuple[Prototype, str, dict, Callable]] = []
+        self._events: list[DiscoveryEvent] = []
+        bus.subscribe(self._on_announcement)
+        clock.on_tick(self._on_tick)
+
+    # -- observation ------------------------------------------------------------
+
+    def on_discovery(self, listener: Callable[[DiscoveryEvent], None]) -> None:
+        """Register a listener for service appearance/departure events
+        (service discovery queries hang off this)."""
+        self._listeners.append(listener)
+
+    @property
+    def events(self) -> list[DiscoveryEvent]:
+        return list(self._events)
+
+    def available(self, prototype: Prototype) -> list[Service]:
+        """Currently available services implementing ``prototype``."""
+        return self.registry.providers(prototype)
+
+    # -- discovery protocol ----------------------------------------------------------
+
+    def _emit(self, kind: str, service: Service) -> None:
+        event = DiscoveryEvent(kind, service, self.clock.now)
+        self._events.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+
+    def _on_announcement(self, announcement: Announcement) -> None:
+        service = announcement.service
+        if announcement.kind is AnnouncementKind.ALIVE:
+            new = service.reference not in self.registry
+            self.registry.register(service)
+            self._expiry[service.reference] = (
+                announcement.instant + max(1, announcement.lease)
+            )
+            if new:
+                self._emit("appeared", service)
+        else:  # BYE
+            if service.reference in self.registry:
+                self.registry.unregister(service.reference)
+                self._expiry.pop(service.reference, None)
+                self._emit("left", service)
+
+    def _on_tick(self, instant: int) -> None:
+        # Reap expired leases (crashed devices, partitioned Local ERMs).
+        for reference in sorted(self._expiry):
+            if self._expiry[reference] < instant:
+                service = self.registry.get(reference)
+                self.registry.unregister(reference)
+                del self._expiry[reference]
+                self._emit("expired", service)
+        # Drain asynchronous invocations queued during the previous instant.
+        pending, self._pending = self._pending, []
+        for prototype, reference, inputs, callback in pending:
+            try:
+                results = self.registry.invoke(prototype, reference, inputs, instant)
+            except Exception as exc:  # delivered to the callback, not raised
+                callback(None, exc)
+            else:
+                callback(results, None)
+
+    # -- invocation ----------------------------------------------------------------------
+
+    def invoke(
+        self,
+        prototype: Prototype,
+        reference: str,
+        inputs: Mapping[str, object],
+        instant: int | None = None,
+    ) -> list[tuple]:
+        """Synchronous remote invocation (Definition 1)."""
+        at = self.clock.now if instant is None else instant
+        return self.registry.invoke(prototype, reference, dict(inputs), at)
+
+    def invoke_async(
+        self,
+        prototype: Prototype,
+        reference: str,
+        inputs: Mapping[str, object],
+        callback: Callable[[list[tuple] | None, Exception | None], None],
+    ) -> None:
+        """Queue an invocation for the next tick; the callback receives
+        either the result tuples or the failure."""
+        self._pending.append((prototype, reference, dict(inputs), callback))
+
+    def __repr__(self) -> str:
+        return f"CoreERM({len(self.registry)} services @ {self.clock.now})"

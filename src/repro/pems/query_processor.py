@@ -1,0 +1,212 @@
+"""The Query Processor (Figure 1, Section 5.1).
+
+The query processor registers queries and executes them in a real-time
+fashion: continuous queries are re-evaluated at every clock tick, and
+*service discovery queries* continuously update designated XD-Relations so
+that they represent the set of services implementing a given prototype
+that are currently available through the core ERM — like the ``cameras``
+and ``sensors`` tables of the temperature surveillance scenario, which new
+sensors join "without the need to stop the continuous query execution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.algebra.query import Query, QueryResult
+from repro.continuous.continuous_query import ContinuousQuery
+from repro.continuous.time import VirtualClock
+from repro.errors import SerenaError, UnknownAttributeError
+from repro.model.environment import PervasiveEnvironment
+from repro.model.services import Service
+from repro.pems.erm import EnvironmentResourceManager
+from repro.pems.table_manager import ExtendedTableManager
+
+__all__ = ["QueryProcessor", "DiscoveryQuery"]
+
+#: Builds the relation row for a discovered service; defaults to
+#: ``{service_attribute: reference, **properties}`` restricted to the
+#: relation's real attributes.
+RowBuilder = Callable[[Service], Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class QueryFailure:
+    """One continuous-query evaluation failure, captured by the tick loop."""
+
+    instant: int
+    query_name: str
+    error: Exception
+
+
+@dataclass
+class DiscoveryQuery:
+    """Keeps one XD-Relation in sync with the available services."""
+
+    prototype_name: str
+    relation_name: str
+    service_attribute: str
+    row_builder: RowBuilder | None = None
+
+    def build_row(self, service: Service, schema) -> dict[str, object]:
+        if self.row_builder is not None:
+            return dict(self.row_builder(service))
+        row: dict[str, object] = {self.service_attribute: service.reference}
+        for name in schema.real_names:
+            if name != self.service_attribute and name in service.properties:
+                row[name] = service.properties[name]
+        return row
+
+
+class QueryProcessor:
+    """Registers and drives one-shot, continuous and discovery queries."""
+
+    def __init__(
+        self,
+        environment: PervasiveEnvironment,
+        clock: VirtualClock,
+        erm: EnvironmentResourceManager,
+        tables: ExtendedTableManager,
+    ):
+        self.environment = environment
+        self.clock = clock
+        self.erm = erm
+        self.tables = tables
+        self._continuous: dict[str, ContinuousQuery] = {}
+        self._discovery: list[DiscoveryQuery] = []
+        self._rows_by_service: dict[tuple[str, str], tuple] = {}
+        self._failures: list[QueryFailure] = []
+        clock.on_tick(self._on_tick)
+
+    @property
+    def failures(self) -> list[QueryFailure]:
+        """Continuous-query evaluation failures captured by the tick loop.
+
+        A failing query never stops the other queries or the clock: the
+        failure is logged here and evaluation of that query resumes at the
+        next instant (a pervasive system must outlive one bad sensor).
+        """
+        return list(self._failures)
+
+    # -- one-shot queries ----------------------------------------------------------
+
+    def execute(self, query: Query) -> QueryResult:
+        """Evaluate a one-shot query at the current instant."""
+        return query.evaluate(self.environment, self.clock.now)
+
+    def execute_sql(self, text: str) -> QueryResult:
+        """Compile a Serena SQL query and evaluate it now."""
+        from repro.lang.sql import compile_sql  # lang layers on pems
+
+        return self.execute(compile_sql(text, self.environment))
+
+    def register_continuous_sql(
+        self, text: str, name: str | None = None, keep_history: bool = False
+    ) -> ContinuousQuery:
+        """Compile a Serena SQL query and register it as continuous."""
+        from repro.lang.sql import compile_sql
+
+        return self.register_continuous(
+            compile_sql(text, self.environment, name), name, keep_history
+        )
+
+    # -- continuous queries ----------------------------------------------------------
+
+    def register_continuous(
+        self, query: Query, name: str | None = None, keep_history: bool = False
+    ) -> ContinuousQuery:
+        """Register a continuous query, evaluated at every tick from now on."""
+        key = name or query.name or f"query-{len(self._continuous) + 1}"
+        if key in self._continuous:
+            raise SerenaError(f"continuous query {key!r} already registered")
+        continuous = ContinuousQuery(query, self.environment, keep_history)
+        self._continuous[key] = continuous
+        return continuous
+
+    def deregister_continuous(self, name: str) -> None:
+        if name not in self._continuous:
+            raise SerenaError(f"no continuous query named {name!r}")
+        del self._continuous[name]
+
+    def continuous_query(self, name: str) -> ContinuousQuery:
+        try:
+            return self._continuous[name]
+        except KeyError:
+            raise SerenaError(f"no continuous query named {name!r}") from None
+
+    @property
+    def continuous_queries(self) -> dict[str, ContinuousQuery]:
+        return dict(self._continuous)
+
+    # -- service discovery queries -------------------------------------------------------
+
+    def register_discovery(
+        self,
+        prototype_name: str,
+        relation_name: str,
+        service_attribute: str,
+        row_builder: RowBuilder | None = None,
+    ) -> DiscoveryQuery:
+        """Keep ``relation_name`` synchronized with the services that
+        implement ``prototype_name``.
+
+        The relation must exist (create it with the table manager first);
+        ``service_attribute`` is its service-reference column.  Rows for
+        newly appeared services are inserted, rows of departed/expired
+        services are deleted — while registered continuous queries keep
+        running over the relation.
+        """
+        self.environment.prototype(prototype_name)  # must be declared
+        schema = self.environment.schema(relation_name)
+        if service_attribute not in schema.real_names:
+            raise UnknownAttributeError(service_attribute, relation_name)
+        discovery = DiscoveryQuery(
+            prototype_name, relation_name, service_attribute, row_builder
+        )
+        self._discovery.append(discovery)
+        self._sync_discovery(discovery)
+        return discovery
+
+    def _sync_discovery(self, discovery: DiscoveryQuery) -> None:
+        """Diff the relation against the currently available services."""
+        prototype = self.environment.prototype(discovery.prototype_name)
+        schema = self.environment.schema(discovery.relation_name)
+        available = {s.reference: s for s in self.erm.available(prototype)}
+        tracked = {
+            ref: row
+            for (rel, ref), row in self._rows_by_service.items()
+            if rel == discovery.relation_name
+        }
+        for reference in sorted(set(available) - set(tracked)):
+            row = discovery.build_row(available[reference], schema)
+            values = schema.tuple_from_mapping(row)
+            self.tables.insert_tuples(discovery.relation_name, [values])
+            self._rows_by_service[(discovery.relation_name, reference)] = values
+        for reference in sorted(set(tracked) - set(available)):
+            values = tracked[reference]
+            self.tables.delete_tuples(discovery.relation_name, [values])
+            del self._rows_by_service[(discovery.relation_name, reference)]
+
+    # -- the tick loop ---------------------------------------------------------------------
+
+    def _on_tick(self, instant: int) -> None:
+        """Per-instant work: sync discovery tables, then evaluate every
+        registered continuous query.
+
+        Ordering matters and mirrors the prototype: discovery updates are
+        applied first so queries at instant τ see the service set of τ.
+        """
+        for discovery in self._discovery:
+            self._sync_discovery(discovery)
+        for name in sorted(self._continuous):
+            try:
+                self._continuous[name].evaluate_at(instant)
+            except Exception as exc:
+                self._failures.append(QueryFailure(instant, name, exc))
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryProcessor({len(self._continuous)} continuous, "
+            f"{len(self._discovery)} discovery queries)"
+        )

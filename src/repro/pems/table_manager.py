@@ -1,0 +1,100 @@
+"""The Extended Table Manager (Figure 1, Section 5.1).
+
+The Extended Table Manager owns the XD-Relations of the environment: it
+creates them (from schemas, or from Serena DDL via
+:meth:`ExtendedTableManager.execute_ddl`) and manages their data —
+insertion and deletion of tuples, time-stamped with the environment clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.continuous.time import VirtualClock
+from repro.continuous.xdrelation import XDRelation
+from repro.errors import EnvironmentError_
+from repro.model.environment import PervasiveEnvironment
+from repro.model.xschema import ExtendedRelationSchema
+
+__all__ = ["ExtendedTableManager"]
+
+
+class ExtendedTableManager:
+    """Creates and updates the XD-Relations of a pervasive environment."""
+
+    def __init__(self, environment: PervasiveEnvironment, clock: VirtualClock):
+        self.environment = environment
+        self.clock = clock
+
+    # -- relation lifecycle ------------------------------------------------------
+
+    def create_relation(
+        self,
+        schema: ExtendedRelationSchema,
+        infinite: bool = False,
+        name: str | None = None,
+    ) -> XDRelation:
+        """Create an empty XD-Relation and register it in the environment."""
+        key = name or schema.name
+        if not key:
+            raise EnvironmentError_("relation needs a name")
+        if key in self.environment:
+            raise EnvironmentError_(f"relation {key!r} already exists")
+        relation = XDRelation(schema.with_name(key), infinite=infinite)
+        self.environment.add_relation(relation, key)
+        return relation
+
+    def execute_ddl(self, text: str) -> list[object]:
+        """Execute Serena DDL statements (Tables 1–2 syntax).
+
+        Prototypes are declared in the environment; extended relations and
+        streams are created; ``SERVICE ... IMPLEMENTS`` statements are
+        checked against the declared prototypes and returned as
+        declarations for the caller to bind to implementations.
+
+        Returns the created/declared objects in statement order.
+        """
+        from repro.lang.ddl import execute_ddl  # local import: lang layers on pems
+
+        return execute_ddl(text, self)
+
+    def drop_relation(self, name: str) -> None:
+        self.environment.remove_relation(name)
+
+    def relation(self, name: str) -> XDRelation:
+        stored = self.environment.relation(name)
+        if not isinstance(stored, XDRelation):
+            raise EnvironmentError_(
+                f"relation {name!r} is not managed by the table manager"
+            )
+        return stored
+
+    # -- data management ------------------------------------------------------------
+
+    def insert(
+        self, name: str, rows: Iterable[Mapping[str, object]], instant: int | None = None
+    ) -> int:
+        """Insert rows (name→value mappings over real attributes) now."""
+        at = self.clock.now if instant is None else instant
+        return self.relation(name).insert_mappings(rows, at)
+
+    def delete(
+        self, name: str, rows: Iterable[Mapping[str, object]], instant: int | None = None
+    ) -> int:
+        at = self.clock.now if instant is None else instant
+        return self.relation(name).delete_mappings(rows, at)
+
+    def insert_tuples(
+        self, name: str, tuples: Iterable[tuple], instant: int | None = None
+    ) -> int:
+        at = self.clock.now if instant is None else instant
+        return self.relation(name).insert(tuples, at)
+
+    def delete_tuples(
+        self, name: str, tuples: Iterable[tuple], instant: int | None = None
+    ) -> int:
+        at = self.clock.now if instant is None else instant
+        return self.relation(name).delete(tuples, at)
+
+    def __repr__(self) -> str:
+        return f"ExtendedTableManager({len(self.environment.relation_names)} relations)"

@@ -1,0 +1,112 @@
+"""Tests for the aggregation extension operator."""
+
+import pytest
+
+from repro.algebra import AggregateSpec, col, scan
+from repro.errors import InvalidOperatorError, VirtualAttributeError
+from repro.model.types import DataType
+
+
+class TestAggregate:
+    def test_mean_temperature_per_location(self, paper_env):
+        """The motivating example: mean temperature for a location."""
+        q = (
+            scan(paper_env, "sensors")
+            .invoke("getTemperature")
+            .aggregate(["location"], ("avg", "temperature", "mean_temp"))
+            .query()
+        )
+        result = q.evaluate(paper_env).relation
+        rows = {m["location"]: m["mean_temp"] for m in result.to_mappings()}
+        assert set(rows) == {"corridor", "office", "roof"}
+        assert all(isinstance(v, float) for v in rows.values())
+
+    def test_count_star(self, paper_env):
+        q = (
+            scan(paper_env, "contacts")
+            .aggregate(["messenger"], ("count", None, "n"))
+            .query()
+        )
+        rows = {
+            m["messenger"]: m["n"]
+            for m in q.evaluate(paper_env).relation.to_mappings()
+        }
+        assert rows == {"email": 2, "jabber": 1}
+
+    def test_global_aggregate_no_groups(self, paper_env):
+        q = (
+            scan(paper_env, "sensors")
+            .invoke("getTemperature")
+            .aggregate([], ("max", "temperature", "hottest"), ("count", None, "n"))
+            .query()
+        )
+        (row,) = q.evaluate(paper_env).relation.to_mappings()
+        assert row["n"] == 4
+
+    def test_empty_input_empty_output(self, paper_env):
+        q = (
+            scan(paper_env, "contacts")
+            .select(col("name").eq("Ghost"))
+            .aggregate([], ("count", None, "n"))
+            .query()
+        )
+        assert len(q.evaluate(paper_env).relation) == 0
+
+    def test_min_max_preserve_type(self, paper_env):
+        node = (
+            scan(paper_env, "contacts")
+            .aggregate(["messenger"], ("min", "name", "first_name"))
+            .node
+        )
+        assert node.schema.dtype("first_name") is DataType.STRING
+
+    def test_avg_yields_real(self, paper_env):
+        node = (
+            scan(paper_env, "sensors")
+            .invoke("getTemperature")
+            .aggregate([], ("avg", "temperature", "m"))
+            .node
+        )
+        assert node.schema.dtype("m") is DataType.REAL
+
+    def test_sum_non_numeric_rejected(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="numeric"):
+            scan(paper_env, "contacts").aggregate(
+                ["messenger"], ("sum", "name", "s")
+            )
+
+    def test_group_by_virtual_rejected(self, paper_env):
+        with pytest.raises(VirtualAttributeError):
+            scan(paper_env, "contacts").aggregate(["text"], ("count", None, "n"))
+
+    def test_aggregate_virtual_rejected(self, paper_env):
+        with pytest.raises(VirtualAttributeError):
+            scan(paper_env, "sensors").aggregate(
+                ["location"], ("avg", "temperature", "m")
+            )
+
+    def test_duplicate_result_name_rejected(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="duplicate"):
+            scan(paper_env, "contacts").aggregate(
+                ["messenger"], ("count", None, "messenger")
+            )
+
+    def test_no_aggregates_rejected(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="at least one"):
+            scan(paper_env, "contacts").aggregate(["messenger"])
+
+    def test_binding_patterns_dropped(self, paper_env):
+        node = (
+            scan(paper_env, "contacts")
+            .aggregate(["messenger"], ("count", None, "n"))
+            .node
+        )
+        assert node.schema.binding_patterns == ()
+
+    def test_unknown_function(self):
+        with pytest.raises(InvalidOperatorError, match="unknown aggregate"):
+            AggregateSpec("median", "x", "m")
+
+    def test_count_without_attribute_only(self):
+        with pytest.raises(InvalidOperatorError, match="requires an attribute"):
+            AggregateSpec("sum", None, "s")

@@ -1,0 +1,121 @@
+"""Tests for asynchronous invocations (Section 5.1: "service invocations
+are handled asynchronously by the invocation operator")."""
+
+import pytest
+
+from repro.algebra import col, scan
+from repro.continuous.continuous_query import ContinuousQuery
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.scenario import contacts_schema
+from repro.errors import InvalidOperatorError
+
+
+@pytest.fixture
+def dynamic_env(paper_env):
+    rows = paper_env.instantaneous("contacts", 0).to_mappings()
+    paper_env.remove_relation("contacts")
+    xd = XDRelation(contacts_schema())
+    xd.insert_mappings(rows, instant=0)
+    paper_env.add_relation(xd)
+    return paper_env
+
+
+def delayed_send(env, delay):
+    return (
+        scan(env, "contacts")
+        .assign("text", "Hi")
+        .invoke("sendMessage", delay=delay)
+        .query()
+    )
+
+
+class TestConstruction:
+    def test_negative_delay_rejected(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="non-negative"):
+            scan(paper_env, "contacts").assign("text", "x").invoke(
+                "sendMessage", delay=-1
+            )
+
+    def test_delay_part_of_identity(self, paper_env):
+        sync = scan(paper_env, "sensors").invoke("getTemperature").node
+        slow = scan(paper_env, "sensors").invoke("getTemperature", delay=2).node
+        assert sync != slow
+
+    def test_sal_round_trip_with_delay(self, paper_env):
+        from repro.lang import parse_query, to_sal
+
+        q = scan(paper_env, "sensors").invoke("getTemperature", delay=3).query()
+        assert "invoke[getTemperature, sensor, 3]" in to_sal(q)
+        assert parse_query(to_sal(q), paper_env).root == q.root
+
+
+class TestOneShotIsSynchronous:
+    def test_delay_ignored_in_one_shot(self, paper):
+        """One-shot evaluation occurs at one instant (Section 3.2): the
+        delay cannot apply."""
+        env = paper.environment
+        result = delayed_send(env, delay=5).evaluate(env)
+        assert len(result.relation) == 3
+        assert len(paper.outbox) == 3
+
+
+class TestContinuousAsynchrony:
+    def test_results_arrive_after_delay(self, dynamic_env):
+        query = delayed_send(dynamic_env, delay=2)
+        cq = ContinuousQuery(query, dynamic_env)
+        assert len(cq.evaluate_at(1).relation) == 0  # requests in flight
+        assert len(cq.evaluate_at(2).relation) == 0
+        assert len(cq.evaluate_at(3).relation) == 3  # responses landed
+
+    def test_actions_happen_at_completion_instant(self, dynamic_env):
+        query = delayed_send(dynamic_env, delay=2)
+        cq = ContinuousQuery(query, dynamic_env)
+        cq.evaluate_at(1)
+        assert len(cq.actions) == 0
+        cq.evaluate_at(2)
+        assert len(cq.actions) == 0
+        cq.evaluate_at(3)
+        assert len(cq.actions) == 3
+
+    def test_new_tuple_gets_its_own_deadline(self, dynamic_env):
+        query = delayed_send(dynamic_env, delay=2)
+        cq = ContinuousQuery(query, dynamic_env)
+        for instant in range(1, 4):
+            cq.evaluate_at(instant)
+        dynamic_env.relation("contacts").insert_mappings(
+            [{"name": "Zoe", "address": "zoe@x.org", "messenger": "jabber"}],
+            instant=4,
+        )
+        assert len(cq.evaluate_at(4).relation) == 3  # Zoe still in flight
+        assert len(cq.evaluate_at(5).relation) == 3
+        assert len(cq.evaluate_at(6).relation) == 4
+
+    def test_tuple_deleted_while_in_flight_never_invoked(self, dynamic_env):
+        registry = dynamic_env.registry
+        query = delayed_send(dynamic_env, delay=3)
+        cq = ContinuousQuery(query, dynamic_env)
+        cq.evaluate_at(1)
+        row = {"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"}
+        dynamic_env.relation("contacts").delete_mappings([row], instant=2)
+        registry.reset_invocation_count()
+        for instant in range(2, 6):
+            cq.evaluate_at(instant)
+        # Only the two remaining contacts were ever invoked.
+        assert registry.invocation_count == 2
+        assert len(cq.actions) == 2
+
+    def test_delay_zero_is_synchronous(self, dynamic_env):
+        query = delayed_send(dynamic_env, delay=0)
+        cq = ContinuousQuery(query, dynamic_env)
+        assert len(cq.evaluate_at(1).relation) == 3
+
+    def test_results_cached_after_arrival(self, dynamic_env):
+        registry = dynamic_env.registry
+        query = delayed_send(dynamic_env, delay=1)
+        cq = ContinuousQuery(query, dynamic_env)
+        cq.evaluate_at(1)
+        registry.reset_invocation_count()
+        cq.evaluate_at(2)  # responses arrive: 3 invocations
+        cq.evaluate_at(3)  # cached
+        cq.evaluate_at(4)
+        assert registry.invocation_count == 3

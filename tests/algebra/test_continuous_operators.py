@@ -1,0 +1,174 @@
+"""Tests for the window and streaming operators (Section 4.2)."""
+
+import pytest
+
+from repro.algebra import (
+    EvaluationContext,
+    Query,
+    Scan,
+    Streaming,
+    StreamType,
+    Window,
+    col,
+    scan,
+)
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.scenario import temperatures_schema
+from repro.errors import InvalidOperatorError
+from repro.model.environment import PervasiveEnvironment
+
+
+@pytest.fixture
+def stream_env():
+    env = PervasiveEnvironment()
+    stream = XDRelation(temperatures_schema(), infinite=True)
+    env.add_relation(stream)
+    for instant in range(1, 6):
+        stream.insert(
+            [("s1", "office", 20.0 + instant, instant)], instant=instant
+        )
+    return env
+
+
+class TestWindow:
+    def test_window_requires_stream(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="must be an infinite"):
+            scan(paper_env, "contacts").window(1)
+
+    def test_window_period_positive(self, stream_env):
+        with pytest.raises(InvalidOperatorError, match="positive integer"):
+            scan(stream_env, "temperatures").window(0)
+
+    def test_window_one_sees_current_insertions_only(self, stream_env):
+        q = scan(stream_env, "temperatures").window(1).query()
+        result = q.evaluate(stream_env, instant=3).relation
+        assert len(result) == 1
+        assert result.column("temperature") == [23.0]
+
+    def test_window_covers_period(self, stream_env):
+        q = scan(stream_env, "temperatures").window(3).query()
+        result = q.evaluate(stream_env, instant=5).relation
+        assert sorted(result.column("at")) == [3, 4, 5]
+
+    def test_window_larger_than_history(self, stream_env):
+        q = scan(stream_env, "temperatures").window(100).query()
+        assert len(q.evaluate(stream_env, instant=5).relation) == 5
+
+    def test_window_expires_old_tuples(self, stream_env):
+        """Tuples older than the period leave the window (RSS scenario's
+        'one-hour-old news expired')."""
+        q = scan(stream_env, "temperatures").window(2).query()
+        assert len(q.evaluate(stream_env, instant=10).relation) == 0
+
+    def test_window_output_is_finite(self, stream_env):
+        node = scan(stream_env, "temperatures").window(1).node
+        assert not node.is_stream
+        assert node.children[0].is_stream
+
+    def test_window_preserves_schema(self, stream_env):
+        node = scan(stream_env, "temperatures").window(1).node
+        assert node.schema.compatible(stream_env.schema("temperatures"))
+
+
+class TestStreaming:
+    def test_streaming_requires_finite(self, stream_env):
+        with pytest.raises(InvalidOperatorError, match="must be a finite"):
+            Streaming(scan(stream_env, "temperatures").node, "insertion")
+
+    def test_output_is_stream(self, paper_env):
+        node = Streaming(scan(paper_env, "contacts").node, "insertion")
+        assert node.is_stream
+
+    def test_unknown_kind(self, paper_env):
+        with pytest.raises(InvalidOperatorError, match="unknown streaming type"):
+            Streaming(scan(paper_env, "contacts").node, "explosion")
+
+    def test_heartbeat_emits_current_state(self, paper_env):
+        node = Streaming(scan(paper_env, "contacts").node, StreamType.HEARTBEAT)
+        result = Query(node).evaluate(paper_env).relation
+        assert len(result) == 3
+
+    def test_insertion_emits_deltas_under_persistent_context(self):
+        env = PervasiveEnvironment()
+        xd = XDRelation(temperatures_schema().with_name("finite_temps"))
+        env.add_relation(xd, "finite_temps")
+        xd.insert([("s1", "office", 20.0, 0)], instant=0)
+
+        leaf = Scan("finite_temps", xd.schema, stream=False)
+        node = Streaming(leaf, StreamType.INSERTION)
+        states: dict = {}
+        ctx0 = EvaluationContext(env, 0, states)
+        assert len(node.evaluate(ctx0)) == 1  # initial content is inserted
+
+        xd.insert([("s2", "roof", 10.0, 1)], instant=1)
+        ctx1 = ctx0.at_instant(1)
+        emitted = node.evaluate(ctx1)
+        assert emitted.column("sensor") == ["s2"]  # only the new tuple
+
+    def test_deletion_emits_removed_tuples(self):
+        env = PervasiveEnvironment()
+        xd = XDRelation(temperatures_schema().with_name("finite_temps"))
+        env.add_relation(xd, "finite_temps")
+        t = ("s1", "office", 20.0, 0)
+        xd.insert([t], instant=0)
+
+        leaf = Scan("finite_temps", xd.schema, stream=False)
+        node = Streaming(leaf, StreamType.DELETION)
+        states: dict = {}
+        ctx0 = EvaluationContext(env, 0, states)
+        assert len(node.evaluate(ctx0)) == 0
+
+        xd.delete([t], instant=1)
+        emitted = node.evaluate(ctx0.at_instant(1))
+        assert set(emitted.tuples) == {t}
+
+    def test_window_over_streaming_roundtrip(self, stream_env):
+        """S[insertion] of a windowed stream re-streams the insertions;
+        a W[1] on top recovers per-instant deltas."""
+        plan = (
+            scan(stream_env, "temperatures")
+            .window(1)
+            .stream("insertion")
+            .window(1)
+            .query()
+        )
+        states: dict = {}
+        ctx = EvaluationContext(stream_env, 1, states)
+        r1 = plan.evaluate_in(ctx)
+        assert len(r1.relation) == 1
+        r2 = plan.evaluate_in(ctx.at_instant(2))
+        assert r2.relation.column("at") == [2]
+
+
+class TestStreamTyping:
+    """Finite-only operators must reject stream operands."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda b: b.project("sensor"),
+            lambda b: b.select(col("temperature").gt(0.0)),
+            lambda b: b.rename("sensor", "s"),
+            lambda b: b.aggregate(["location"], ("avg", "temperature", "m")),
+        ],
+    )
+    def test_rejects_stream_operand(self, stream_env, build):
+        with pytest.raises(InvalidOperatorError, match="finite"):
+            build(scan(stream_env, "temperatures"))
+
+    def test_join_rejects_stream(self, stream_env, paper_env):
+        with pytest.raises(InvalidOperatorError, match="finite"):
+            scan(stream_env, "temperatures").join(
+                Scan("contacts", paper_env.schema("contacts"))
+            )
+
+    def test_window_then_operators_ok(self, stream_env):
+        q = (
+            scan(stream_env, "temperatures")
+            .window(2)
+            .select(col("temperature").gt(21.0))
+            .project("sensor", "temperature")
+            .query()
+        )
+        result = q.evaluate(stream_env, instant=3).relation
+        assert len(result) == 2  # instants 2 and 3

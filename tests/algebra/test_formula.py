@@ -1,0 +1,136 @@
+"""Tests for selection formulas (Table 3b restrictions + evaluation)."""
+
+import pytest
+
+from repro.algebra.formula import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TrueFormula,
+    col,
+)
+from repro.devices.scenario import contacts_schema
+from repro.errors import FormulaError, VirtualAttributeError
+
+
+class TestComparison:
+    def test_eq(self):
+        f = col("name").eq("Carla")
+        assert f.evaluate({"name": "Carla"})
+        assert not f.evaluate({"name": "Nicolas"})
+
+    def test_ne(self):
+        f = col("name").ne("Carla")
+        assert not f.evaluate({"name": "Carla"})
+
+    @pytest.mark.parametrize(
+        "builder,value,expected",
+        [
+            ("lt", 34.9, True),
+            ("lt", 35.0, False),
+            ("le", 35.0, True),
+            ("gt", 35.1, True),
+            ("gt", 35.0, False),
+            ("ge", 35.0, True),
+        ],
+    )
+    def test_orderings(self, builder, value, expected):
+        f = getattr(col("t"), builder)(35.0)
+        assert f.evaluate({"t": value}) is expected
+
+    def test_attr_to_attr(self):
+        f = col("temperature").gt(col("threshold"))
+        assert f.evaluate({"temperature": 30.0, "threshold": 28.0})
+        assert not f.evaluate({"temperature": 20.0, "threshold": 28.0})
+        assert f.attributes() == {"temperature", "threshold"}
+
+    def test_contains(self):
+        f = col("title").contains("Obama")
+        assert f.evaluate({"title": "Obama announces a plan"})
+        assert not f.evaluate({"title": "markets fall"})
+
+    def test_contains_non_string_raises(self):
+        f = col("title").contains("x")
+        with pytest.raises(FormulaError):
+            f.evaluate({"title": 42})
+
+    def test_unorderable_types_raise(self):
+        f = col("x").lt(5)
+        with pytest.raises(FormulaError, match="cannot order"):
+            f.evaluate({"x": "string"})
+
+    def test_int_float_equality(self):
+        assert col("x").eq(35).evaluate({"x": 35.0})
+
+    def test_unknown_operator(self):
+        with pytest.raises(FormulaError):
+            Comparison("a", "~", 1)
+
+    def test_attr_name_must_be_string(self):
+        with pytest.raises(FormulaError):
+            Comparison(5, "=", 1, left_is_attr=True)
+
+
+class TestConnectives:
+    def test_and(self):
+        f = col("a").eq(1) & col("b").eq(2)
+        assert isinstance(f, And)
+        assert f.evaluate({"a": 1, "b": 2})
+        assert not f.evaluate({"a": 1, "b": 3})
+
+    def test_or(self):
+        f = col("a").eq(1) | col("b").eq(2)
+        assert isinstance(f, Or)
+        assert f.evaluate({"a": 0, "b": 2})
+        assert not f.evaluate({"a": 0, "b": 0})
+
+    def test_not(self):
+        f = ~col("a").eq(1)
+        assert isinstance(f, Not)
+        assert f.evaluate({"a": 2})
+
+    def test_true_formula(self):
+        assert TrueFormula().evaluate({})
+        assert TrueFormula().attributes() == frozenset()
+
+    def test_nested_attributes(self):
+        f = (col("a").eq(1) & col("b").eq(2)) | ~col("c").eq(3)
+        assert f.attributes() == {"a", "b", "c"}
+
+
+class TestValidation:
+    def test_real_attributes_accepted(self):
+        col("name").eq("Carla").validate(contacts_schema())
+
+    def test_virtual_attribute_rejected(self):
+        """Selection formulas can only apply to real attributes."""
+        with pytest.raises(VirtualAttributeError):
+            col("text").eq("hi").validate(contacts_schema())
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(FormulaError, match="unknown attribute"):
+            col("ghost").eq(1).validate(contacts_schema())
+
+
+class TestRendering:
+    def test_string_quoting(self):
+        assert col("name").ne("Carla").render() == "name != 'Carla'"
+
+    def test_quote_escaping(self):
+        assert col("name").eq("O'Brien").render() == "name = 'O''Brien'"
+
+    def test_numbers_and_booleans(self):
+        assert col("t").gt(35.5).render() == "t > 35.5"
+        assert col("sent").eq(True).render() == "sent = true"
+
+    def test_attr_to_attr_render(self):
+        assert col("a").lt(col("b")).render() == "a < b"
+
+    def test_connective_render(self):
+        f = col("a").eq(1) & ~col("b").eq(2)
+        assert f.render() == "(a = 1 and (not b = 2))"
+
+    def test_structural_equality(self):
+        assert col("a").eq(1) == col("a").eq(1)
+        assert col("a").eq(1) != col("a").eq(2)

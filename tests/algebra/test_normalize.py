@@ -1,0 +1,129 @@
+"""Tests for plan normalization and syntactic equivalence."""
+
+import pytest
+
+from repro.algebra import col, scan
+from repro.algebra.formula import And, Or
+from repro.algebra.normalize import (
+    normalize,
+    normalize_formula,
+    syntactically_equivalent,
+)
+
+
+class TestNormalizeFormula:
+    def test_conjunction_sorted(self):
+        a, b = col("x").eq(1), col("a").eq(2)
+        assert normalize_formula(And(a, b)) == normalize_formula(And(b, a))
+
+    def test_conjunction_flattened(self):
+        a, b, c = col("a").eq(1), col("b").eq(2), col("c").eq(3)
+        nested_left = And(And(a, b), c)
+        nested_right = And(a, And(b, c))
+        assert normalize_formula(nested_left) == normalize_formula(nested_right)
+
+    def test_idempotent_terms_deduplicated(self):
+        a = col("a").eq(1)
+        assert normalize_formula(And(a, a)) == a
+
+    def test_disjunction_same_treatment(self):
+        a, b = col("x").eq(1), col("a").eq(2)
+        assert normalize_formula(Or(a, b)) == normalize_formula(Or(b, a))
+
+    def test_negation_recurses(self):
+        a, b = col("x").eq(1), col("a").eq(2)
+        assert normalize_formula(~And(a, b)) == normalize_formula(~And(b, a))
+
+    def test_and_or_not_mixed(self):
+        comparison = col("a").eq(1)
+        assert normalize_formula(comparison) == comparison
+
+
+class TestNormalizePlans:
+    def test_stacked_selections_merge_and_sort(self, paper_env):
+        one = (
+            scan(paper_env, "contacts")
+            .select(col("name").ne("Carla"))
+            .select(col("messenger").eq("email"))
+            .query()
+        )
+        two = (
+            scan(paper_env, "contacts")
+            .select(col("messenger").eq("email"))
+            .select(col("name").ne("Carla"))
+            .query()
+        )
+        assert one.root != two.root
+        assert syntactically_equivalent(one, two)
+
+    def test_pushdown_normalizes_invocation_position(self, paper_env):
+        late_filter = (
+            scan(paper_env, "sensors")
+            .invoke("getTemperature")
+            .select(col("location").eq("office"))
+            .query()
+        )
+        early_filter = (
+            scan(paper_env, "sensors")
+            .select(col("location").eq("office"))
+            .invoke("getTemperature")
+            .query()
+        )
+        assert syntactically_equivalent(late_filter, early_filter)
+
+    def test_active_invocations_stay_distinct(self, paper_env):
+        """Q1 and Q1' must NOT be syntactically equivalent."""
+        from repro.algebra import Query, Selection
+
+        q1 = (
+            scan(paper_env, "contacts")
+            .select(col("name").ne("Carla"))
+            .assign("text", "x")
+            .invoke("sendMessage")
+            .query()
+        )
+        q1_prime = Query(
+            Selection(
+                scan(paper_env, "contacts")
+                .assign("text", "x")
+                .invoke("sendMessage")
+                .node,
+                col("name").ne("Carla"),
+            )
+        )
+        assert not syntactically_equivalent(q1, q1_prime)
+
+    def test_projection_cascade_collapses(self, paper_env):
+        cascaded = (
+            scan(paper_env, "contacts")
+            .project("name", "address", "messenger")
+            .project("name")
+            .query()
+        )
+        direct = scan(paper_env, "contacts").project("name").query()
+        assert syntactically_equivalent(cascaded, direct)
+
+    def test_query_name_preserved(self, paper_env):
+        q = scan(paper_env, "contacts").query("named")
+        assert normalize(q).name == "named"
+
+    def test_normalization_preserves_def9_equivalence(self, paper):
+        """normalize(q) ≡ q empirically (Definition 9)."""
+        from repro.algebra import Query, check_equivalence
+
+        env = paper.environment
+        q = (
+            scan(env, "sensors")
+            .invoke("getTemperature")
+            .select(col("location").eq("office") & col("sensor").ne("sensor07"))
+            .project("sensor", "location", "temperature")
+            .query()
+        )
+        normalized = normalize(q)
+        assert isinstance(normalized, Query)
+        assert check_equivalence(q, normalized, env).equivalent
+
+    def test_different_queries_not_equivalent(self, paper_env):
+        a = scan(paper_env, "contacts").select(col("name").eq("Carla")).query()
+        b = scan(paper_env, "contacts").select(col("name").eq("Nicolas")).query()
+        assert not syntactically_equivalent(a, b)

@@ -1,0 +1,126 @@
+"""Tests for environment statistics and the statistics-aware cost model."""
+
+import pytest
+
+from repro.algebra import CostModel, col, collect_statistics, scan
+from repro.algebra.formula import TrueFormula
+from repro.algebra.statistics import (
+    CONTAINS_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    RelationStatistics,
+)
+
+
+@pytest.fixture
+def stats(paper_env):
+    return collect_statistics(paper_env, instant=0)
+
+
+class TestCollection:
+    def test_cardinalities(self, stats):
+        assert stats.relation("contacts").cardinality == 3
+        assert stats.relation("sensors").cardinality == 4
+        assert stats.relation("cameras").cardinality == 3
+
+    def test_distinct_counts(self, stats):
+        contacts = stats.relation("contacts")
+        assert contacts.distinct["name"] == 3
+        assert contacts.distinct["messenger"] == 2  # email, jabber
+        sensors = stats.relation("sensors")
+        assert sensors.distinct["location"] == 3
+
+    def test_virtual_attributes_not_counted(self, stats):
+        assert "text" not in stats.relation("contacts").distinct
+
+    def test_streams_skipped(self, paper_env):
+        from repro.continuous.xdrelation import XDRelation
+        from repro.devices.scenario import temperatures_schema
+
+        paper_env.add_relation(XDRelation(temperatures_schema(), infinite=True))
+        stats = collect_statistics(paper_env)
+        assert "temperatures" not in stats
+
+    def test_distinct_anywhere_takes_max(self, stats):
+        # 'location' appears only in sensors here.
+        assert stats.distinct_anywhere("location") == 3
+        assert stats.distinct_anywhere("nonexistent") is None
+
+
+class TestSelectivity:
+    def test_equality_uses_distinct(self, stats):
+        assert stats.selectivity(col("messenger").eq("email")) == pytest.approx(0.5)
+        assert stats.selectivity(col("name").eq("Carla")) == pytest.approx(1 / 3)
+
+    def test_inequality_is_complement(self, stats):
+        assert stats.selectivity(col("name").ne("Carla")) == pytest.approx(2 / 3)
+
+    def test_range_default(self, stats):
+        assert stats.selectivity(col("threshold").gt(5.0)) == RANGE_SELECTIVITY
+
+    def test_contains_default(self, stats):
+        assert stats.selectivity(col("name").contains("a")) == CONTAINS_SELECTIVITY
+
+    def test_connectives(self, stats):
+        conj = col("messenger").eq("email") & col("name").eq("Carla")
+        assert stats.selectivity(conj) == pytest.approx(0.5 / 3)
+        disj = col("messenger").eq("email") | col("name").eq("Carla")
+        expected = 0.5 + 1 / 3 - 0.5 / 3
+        assert stats.selectivity(disj) == pytest.approx(expected)
+        neg = ~col("messenger").eq("email")
+        assert stats.selectivity(neg) == pytest.approx(0.5)
+
+    def test_true_formula(self, stats):
+        assert stats.selectivity(TrueFormula()) == 1.0
+
+    def test_attr_to_attr_equality(self, stats):
+        sel = stats.selectivity(col("name").eq(col("address")))
+        assert sel == pytest.approx(1 / 3)  # 1/max(3, 3)
+
+
+class TestStatisticsAwareCostModel:
+    def test_selection_cardinality_refined(self, paper_env, stats):
+        plain = CostModel(paper_env)
+        informed = CostModel(paper_env, statistics=stats)
+        node = (
+            scan(paper_env, "contacts").select(col("name").eq("Carla")).node
+        )
+        assert plain.cardinality(node) == pytest.approx(1.5)   # 0.5 default
+        assert informed.cardinality(node) == pytest.approx(1.0)  # 1/3 of 3
+
+    def test_join_cardinality_refined(self, paper_env, stats):
+        from repro.devices.scenario import surveillance_schema
+        from repro.model.relation import XRelation
+
+        paper_env.add_relation(
+            XRelation.from_mappings(
+                surveillance_schema(),
+                [
+                    {"name": "Carla", "location": "office", "threshold": 28.0},
+                    {"name": "Nicolas", "location": "corridor", "threshold": 30.0},
+                ],
+            )
+        )
+        stats = collect_statistics(paper_env)
+        informed = CostModel(paper_env, statistics=stats)
+        node = (
+            scan(paper_env, "contacts")
+            .join(scan(paper_env, "surveillance"))
+            .node
+        )
+        # join on 'name': 3 × 2 / max-distinct(name)=3 → 2
+        assert informed.cardinality(node) == pytest.approx(2.0)
+
+    def test_statistics_change_optimizer_estimates_not_semantics(
+        self, paper_env, stats
+    ):
+        from repro.algebra import Optimizer, check_equivalence
+
+        query = (
+            scan(paper_env, "sensors")
+            .invoke("getTemperature")
+            .select(col("location").eq("office"))
+            .query()
+        )
+        result = Optimizer(CostModel(paper_env, statistics=stats)).optimize(query)
+        assert check_equivalence(query, result.query, paper_env).equivalent
+        assert result.cost.total < result.original_cost.total

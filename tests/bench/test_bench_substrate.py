@@ -1,0 +1,119 @@
+"""Tests for the benchmark substrate: workloads, harness, reporting."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import RunStats, measure_run
+from repro.bench.reporting import Report, format_table
+from repro.bench.workloads import build_surveillance_workload, random_environment
+
+
+class TestSurveillanceWorkload:
+    def test_shape(self):
+        scenario = build_surveillance_workload(
+            num_sensors=12, num_contacts=3, num_cameras=2, num_locations=4
+        )
+        assert len(scenario.sensors) == 12
+        assert len(scenario.cameras) == 2
+        scenario.run(1)
+        env = scenario.environment
+        assert len(env.instantaneous("sensors", 1)) == 12
+        assert len(env.instantaneous("contacts", 1)) == 3
+        assert len(env.instantaneous("surveillance", 1)) == 4
+
+    def test_hot_fraction_drives_alerts(self):
+        cold = build_surveillance_workload(num_sensors=10, hot_fraction=0.0)
+        cold.run(5)
+        assert len(cold.outbox) == 0
+        hot = build_surveillance_workload(num_sensors=10, hot_fraction=1.0)
+        hot.run(5)
+        assert len(hot.outbox) > 0
+
+    def test_deterministic(self):
+        a = build_surveillance_workload(num_sensors=6)
+        b = build_surveillance_workload(num_sensors=6)
+        a.run(5)
+        b.run(5)
+        assert len(a.outbox) == len(b.outbox)
+        assert len(a.environment.relation("temperatures")) == len(
+            b.environment.relation("temperatures")
+        )
+
+
+class TestRandomEnvironment:
+    def test_items_and_categories(self):
+        handle = random_environment(seed=3, num_items=5)
+        env = handle.environment
+        assert len(env.instantaneous("items", 0)) <= 5  # duplicates may collapse
+        assert len(env.instantaneous("categories", 0)) == 3
+
+    def test_seeded_reproducibility(self):
+        a = random_environment(seed=3).environment.instantaneous("items", 0)
+        b = random_environment(seed=3).environment.instantaneous("items", 0)
+        assert a == b
+        c = random_environment(seed=4).environment.instantaneous("items", 0)
+        assert a != c
+
+    def test_active_prototype_logs_work(self):
+        from repro.algebra import scan
+
+        handle = random_environment(seed=0)
+        env = handle.environment
+        q = scan(env, "items").invoke("doWork").query()
+        result = q.evaluate(env)
+        assert len(result.actions) > 0
+        assert len(handle.work_log) == len(env.instantaneous("items", 0))
+
+
+class TestHarness:
+    def test_measure_run_counts(self):
+        scenario = build_surveillance_workload(num_sensors=5, hot_fraction=0.4)
+        scenario.run(1)
+        stats = measure_run(scenario, 10)
+        assert stats.instants == 10
+        assert stats.stream_tuples == 50
+        assert stats.invocations >= 50  # sensor reads + sends
+        assert len(stats.tick_seconds) == 10
+        assert stats.ticks_per_second > 0
+        assert stats.mean_tick_ms > 0
+        assert stats.percentile_tick_ms(0.95) >= stats.percentile_tick_ms(0.05)
+
+    def test_empty_stats(self):
+        stats = RunStats(0)
+        assert stats.mean_tick_ms == 0.0
+        assert stats.percentile_tick_ms(0.5) == 0.0
+        assert stats.invocations_per_instant == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "n"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("alpha")
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_report_emit_writes_file(self, tmp_path, capsys):
+        report = Report("unit-test-report", directory=str(tmp_path))
+        report.table(["k"], [["v"]], title="t")
+        report.add("extra section")
+        text = report.emit()
+        assert "== unit-test-report ==" in text
+        assert "extra section" in text
+        printed = capsys.readouterr().out
+        assert "unit-test-report" in printed
+        path = os.path.join(str(tmp_path), "unit-test-report.txt")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read().strip() == text.strip()

@@ -1,0 +1,27 @@
+"""Shared fixtures: the paper's running example as a concrete environment.
+
+``paper`` builds exactly the relational pervasive environment of
+Examples 1–4 (the four prototypes of Table 1, the nine services, the
+``contacts`` / ``cameras`` X-Relations of Table 2 and the ``sensors``
+table of the motivating example) via
+:func:`repro.devices.paper_example.build_paper_example`, exposing the
+messengers' shared outbox so tests can assert side effects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.paper_example import PaperExample, build_paper_example
+from repro.model.environment import PervasiveEnvironment
+
+
+@pytest.fixture
+def paper() -> PaperExample:
+    """A fresh paper environment per test."""
+    return build_paper_example()
+
+
+@pytest.fixture
+def paper_env(paper: PaperExample) -> PervasiveEnvironment:
+    return paper.environment

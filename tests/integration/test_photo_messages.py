@@ -1,0 +1,68 @@
+"""Integration tests for the §5.2 'picture with a message' extension:
+contacts with a virtual photo attribute and the sendPhotoMessage pattern,
+fed by implicit realization from the takePhoto pipeline."""
+
+import pytest
+
+from repro.devices.prototypes import SEND_PHOTO_MESSAGE
+from repro.devices.scenario import build_temperature_surveillance, contacts_schema
+
+
+class TestContactsWithPhoto:
+    def test_schema_shape(self):
+        schema = contacts_schema(with_photo=True)
+        assert "photo" in schema.virtual_names
+        names = sorted(bp.prototype.name for bp in schema.binding_patterns)
+        assert names == ["sendMessage", "sendPhotoMessage"]
+
+    def test_default_schema_unchanged(self):
+        schema = contacts_schema()
+        assert "photo" not in schema
+        assert len(schema.binding_patterns) == 1
+
+    def test_prototype_shape(self):
+        assert SEND_PHOTO_MESSAGE.active
+        assert SEND_PHOTO_MESSAGE.input_names == {"address", "text", "photo"}
+
+
+class TestPhotoAlertPipeline:
+    @pytest.fixture
+    def scenario(self):
+        return build_temperature_surveillance(with_photo_messages=True)
+
+    def test_photo_alerts_query_registered(self, scenario):
+        assert "photo-alerts" in scenario.queries
+
+    def test_cold_area_photo_reaches_the_manager(self, scenario):
+        scenario.run(2)
+        scenario.sensors["sensor06"].heat(4, 11, peak=-15.0)  # freeze the office
+        scenario.run(12)
+        photo_messages = [m for m in scenario.outbox.messages if m.photo]
+        assert photo_messages, "no photo message sent"
+        # The office manager is Carla; the photo is from the office camera.
+        for message in photo_messages:
+            assert message.address == "carla@elysee.fr"
+            assert b"camera01|office" in message.photo
+            assert message.text == "Cold area photo attached"
+
+    def test_implicit_realization_feeds_the_binding_pattern(self, scenario):
+        """In the registered plan, 'photo' is real before sendPhotoMessage
+        although it is virtual in the contacts schema: the join realized it
+        from the takePhoto output (Table 3d)."""
+        plan = scenario.queries["photo-alerts"].query.root
+        # the β(sendPhotoMessage) node's operand schema:
+        operand = plan.children[0].schema
+        assert "photo" in operand.real_names
+        assert scenario.environment.schema("contacts").is_virtual("photo")
+
+    def test_no_photo_messages_without_cold_episode(self, scenario):
+        scenario.run(10)
+        assert [m for m in scenario.outbox.messages if m.photo] == []
+
+    def test_each_photo_sent_once(self, scenario):
+        scenario.run(2)
+        scenario.sensors["sensor06"].heat(4, 9, peak=-15.0)
+        scenario.run(12)
+        photo_messages = [m for m in scenario.outbox.messages if m.photo]
+        keys = [(m.address, m.photo) for m in photo_messages]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,239 @@
+"""Tests for the Serena shell (repro.cli) and DDL data statements."""
+
+import io
+
+import pytest
+
+from repro.cli import SerenaShell, split_statements
+from repro.devices.prototypes import STANDARD_PROTOTYPES
+from repro.pems.pems import PEMS
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    pems = PEMS()
+    for prototype in STANDARD_PROTOTYPES:
+        pems.environment.declare_prototype(prototype)
+    return SerenaShell(pems, out), out
+
+
+def output_of(pair):
+    shell, out = pair
+    return out.getvalue()
+
+
+class TestSplitStatements:
+    def test_dot_commands_are_lines(self):
+        assert split_statements(".tick 3\n.show contacts\n") == [
+            ".tick 3",
+            ".show contacts",
+        ]
+
+    def test_multiline_statement_until_semicolon(self):
+        text = "SELECT *\nFROM contacts;\n.tick"
+        assert split_statements(text) == ["SELECT *\nFROM contacts;", ".tick"]
+
+    def test_semicolon_inside_string_ignored(self):
+        text = "INSERT INTO t VALUES ('a;b');"
+        assert split_statements(text) == [text]
+
+    def test_comments_stripped(self):
+        assert split_statements("-- hello\n.tick -- trailing\n") == [".tick"]
+
+    def test_multiple_statements_one_line(self):
+        assert split_statements("SELECT a FROM t; SELECT b FROM t;") == [
+            "SELECT a FROM t;",
+            "SELECT b FROM t;",
+        ]
+
+    def test_unterminated_tail_kept(self):
+        assert split_statements("SELECT * FROM t") == ["SELECT * FROM t"]
+
+
+class TestShellStatements:
+    def test_ddl_and_insert_and_select(self, shell):
+        sh, out = shell
+        sh.execute(
+            "EXTENDED RELATION people ( name STRING, age INTEGER );"
+        )
+        sh.execute("INSERT INTO people VALUES ('Ada', 36), ('Alan', 41);")
+        sh.execute("SELECT name FROM people WHERE age > 40;")
+        text = out.getvalue()
+        assert "ok:" in text
+        assert "Alan" in text
+        assert "Ada" not in text.split("| name")[-1]
+
+    def test_delete_from(self, shell):
+        sh, out = shell
+        sh.execute("EXTENDED RELATION people ( name STRING );")
+        sh.execute("INSERT INTO people VALUES ('Ada');")
+        sh.pems.tick()
+        sh.execute("DELETE FROM people VALUES ('Ada');")
+        sh.execute("SELECT * FROM people;")
+        assert "Ada" not in out.getvalue().rsplit("people", 1)[-1]
+
+    def test_register_and_result(self, shell):
+        sh, out = shell
+        sh.execute("EXTENDED RELATION people ( name STRING );")
+        sh.execute("REGISTER watch AS SELECT * FROM people;")
+        sh.execute(".tick 2")
+        sh.execute(".result watch")
+        sh.execute(".queries")
+        text = out.getvalue()
+        assert "registered continuous query 'watch'" in text
+        assert "watch: people" in text or "watch: project" in text
+
+    def test_register_usage_error(self, shell):
+        sh, out = shell
+        sh.execute("REGISTER broken SELECT * FROM x;")
+        assert "usage: REGISTER" in out.getvalue()
+
+    def test_errors_are_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.execute("SELECT * FROM ghost;")
+        assert "error:" in out.getvalue()
+
+    def test_unrecognized_statement(self, shell):
+        sh, out = shell
+        sh.execute("FROBNICATE;")
+        assert "unrecognized statement" in out.getvalue()
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        sh.execute(".frobnicate")
+        assert "unknown command" in out.getvalue()
+
+
+class TestDotCommands:
+    def test_catalog(self, shell):
+        sh, out = shell
+        sh.execute(".catalog")
+        assert "-- Prototypes --" in out.getvalue()
+
+    def test_show(self, shell):
+        sh, out = shell
+        sh.execute("EXTENDED RELATION people ( name STRING );")
+        sh.execute("INSERT INTO people VALUES ('Ada');")
+        sh.execute(".show people")
+        assert "Ada" in out.getvalue()
+
+    def test_tick(self, shell):
+        sh, out = shell
+        sh.execute(".tick 5")
+        assert "now at instant 5" in out.getvalue()
+        assert sh.pems.clock.now == 5
+
+    def test_explain(self, shell):
+        sh, out = shell
+        sh.execute("EXTENDED RELATION people ( name STRING );")
+        sh.execute(".explain SELECT name FROM people")
+        assert "scan(people)" in out.getvalue()
+
+    def test_sal(self, shell):
+        sh, out = shell
+        sh.execute("EXTENDED RELATION people ( name STRING );")
+        sh.execute("INSERT INTO people VALUES ('Ada');")
+        sh.execute(".sal select[name = 'Ada'](people)")
+        assert "Ada" in out.getvalue()
+
+    def test_demo_temperature(self, shell):
+        sh, out = shell
+        sh.execute(".demo temperature")
+        sh.execute(".tick 2")
+        sh.execute(".show sensors")
+        text = out.getvalue()
+        assert "loaded the temperature scenario" in text
+        assert "sensor06" in text
+
+    def test_demo_usage(self, shell):
+        sh, out = shell
+        sh.execute(".demo spaceship")
+        assert "usage: .demo" in out.getvalue()
+
+    def test_quit_stops(self, shell):
+        sh, out = shell
+        assert sh.running
+        sh.execute(".quit")
+        assert not sh.running
+
+    def test_run_script_stops_at_quit(self, shell):
+        sh, out = shell
+        sh.run_script(".tick 1\n.quit\n.tick 5\n")
+        assert sh.pems.clock.now == 1
+
+    def test_help(self, shell):
+        sh, out = shell
+        sh.execute(".help")
+        assert ".catalog" in out.getvalue()
+
+
+class TestOptimizeAndStats:
+    def test_stats_lists_relations_and_streams(self, shell):
+        sh, out = shell
+        sh.execute(".demo temperature")
+        sh.execute(".stats")
+        text = out.getvalue()
+        assert "contacts: 4 tuples" in text
+        assert "temperatures: (stream — not profiled)" in text
+
+    def test_optimize_shows_both_plans(self, shell):
+        sh, out = shell
+        sh.execute(".demo temperature")
+        sh.execute(".tick 1")
+        sh.execute(
+            ".optimize SELECT sensor, temperature FROM sensors "
+            "USING getTemperature HAVING location = 'office'"
+        )
+        text = out.getvalue()
+        assert "-- original plan --" in text
+        assert "-- optimized plan --" in text
+        assert "plans explored" in text
+
+    def test_stats_empty_environment(self, shell):
+        sh, out = shell
+        sh.execute(".stats")
+        assert "(no relations)" in out.getvalue()
+
+
+class TestRuleCommand:
+    def test_rule_evaluates(self, shell):
+        sh, out = shell
+        sh.execute(".demo temperature")
+        sh.execute(".tick 1")
+        sh.execute(".rule who(n) :- contacts(n, _, _, 'email', _);")
+        text = out.getvalue()
+        assert "Carla" in text and "Nicolas" in text
+        assert "Francois" not in text.split("who")[-1]
+
+    def test_rule_errors_reported(self, shell):
+        sh, out = shell
+        sh.execute(".rule broken(x) :- nothing(x);")
+        assert "error:" in out.getvalue()
+
+
+class TestMainEntry:
+    def test_main_executes_script_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "session.serena"
+        script.write_text(
+            "EXTENDED RELATION people ( name STRING );\n"
+            "INSERT INTO people VALUES ('Ada');\n"
+            "SELECT * FROM people;\n",
+            encoding="utf-8",
+        )
+        assert main([str(script)]) == 0
+        assert "Ada" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_shows_counts_and_result(self, shell):
+        sh, out = shell
+        sh.execute(".demo temperature")
+        sh.execute(".tick 1")
+        sh.execute(".profile SELECT sensor FROM sensors")
+        text = out.getvalue()
+        assert "tuples]" in text
+        assert "service invocations: 0" in text
+        assert "sensor06" in text

@@ -1,0 +1,154 @@
+"""Tests for the Serena DDL (Tables 1–2)."""
+
+import pytest
+
+from repro.continuous.time import VirtualClock
+from repro.continuous.xdrelation import XDRelation
+from repro.errors import ParseError, UnknownPrototypeError
+from repro.lang.ddl import ServiceDeclaration, parse_ddl
+from repro.model.environment import PervasiveEnvironment
+from repro.pems.table_manager import ExtendedTableManager
+
+TABLE1_DDL = """
+PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+PROTOTYPE checkPhoto( area STRING ) : ( quality INTEGER, delay REAL );
+PROTOTYPE takePhoto( area STRING, quality INTEGER ) : ( photo BLOB );
+PROTOTYPE getTemperature( ) : ( temperature REAL );
+SERVICE email IMPLEMENTS sendMessage;
+SERVICE jabber IMPLEMENTS sendMessage;
+SERVICE camera01 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE camera02 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE webcam07 IMPLEMENTS checkPhoto, takePhoto;
+SERVICE sensor01 IMPLEMENTS getTemperature;
+SERVICE sensor06 IMPLEMENTS getTemperature;
+SERVICE sensor07 IMPLEMENTS getTemperature;
+SERVICE sensor22 IMPLEMENTS getTemperature;
+"""
+
+TABLE2_DDL = """
+EXTENDED RELATION contacts (
+    name STRING,
+    address STRING,
+    text STRING VIRTUAL,
+    messenger SERVICE,
+    sent BOOLEAN VIRTUAL
+) USING BINDING PATTERNS (
+    sendMessage[messenger] ( address, text ) : ( sent )
+);
+EXTENDED RELATION cameras (
+    camera SERVICE,
+    area STRING,
+    quality INTEGER VIRTUAL,
+    delay REAL VIRTUAL,
+    photo BLOB VIRTUAL
+) USING BINDING PATTERNS (
+    checkPhoto[camera] ( area ) : ( quality, delay ),
+    takePhoto[camera] ( area, quality ) : ( photo )
+);
+"""
+
+
+@pytest.fixture
+def tables():
+    return ExtendedTableManager(PervasiveEnvironment(), VirtualClock())
+
+
+class TestTable1:
+    def test_prototypes_and_services_parse(self, tables):
+        results = tables.execute_ddl(TABLE1_DDL)
+        assert len(results) == 13
+        env = tables.environment
+        assert env.prototype("sendMessage").active
+        assert not env.prototype("takePhoto").active
+        assert env.prototype("getTemperature").input_schema.arity == 0
+        declarations = [r for r in results if isinstance(r, ServiceDeclaration)]
+        assert len(declarations) == 9
+        camera = next(d for d in declarations if d.reference == "camera01")
+        assert camera.prototype_names == ("checkPhoto", "takePhoto")
+
+    def test_service_requires_declared_prototype(self, tables):
+        with pytest.raises(UnknownPrototypeError):
+            tables.execute_ddl("SERVICE rogue IMPLEMENTS teleport;")
+
+
+class TestTable2:
+    def test_extended_relations_created(self, tables):
+        tables.execute_ddl(TABLE1_DDL)
+        results = tables.execute_ddl(TABLE2_DDL)
+        assert all(isinstance(r, XDRelation) for r in results)
+        contacts = tables.environment.schema("contacts")
+        assert contacts.virtual_names == {"text", "sent"}
+        assert contacts.binding_patterns[0].service_attribute == "messenger"
+        cameras = tables.environment.schema("cameras")
+        assert len(cameras.binding_patterns) == 2
+
+    def test_round_trip_with_describe(self, tables):
+        """DDL → schema → describe → DDL again produces the same schema."""
+        tables.execute_ddl(TABLE1_DDL)
+        tables.execute_ddl(TABLE2_DDL)
+        text = tables.environment.schema("contacts").describe() + ";"
+        fresh = ExtendedTableManager(PervasiveEnvironment(), VirtualClock())
+        fresh.execute_ddl(TABLE1_DDL)
+        fresh.execute_ddl(text)
+        assert fresh.environment.schema("contacts").compatible(
+            tables.environment.schema("contacts")
+        )
+
+    def test_stream_variant(self, tables):
+        results = tables.execute_ddl(
+            "EXTENDED STREAM temps ( sensor SERVICE, temperature REAL );"
+        )
+        (stream,) = results
+        assert stream.infinite
+
+    def test_binding_pattern_inputs_checked(self, tables):
+        tables.execute_ddl(TABLE1_DDL)
+        bad = """
+        EXTENDED RELATION broken (
+            messenger SERVICE,
+            text STRING VIRTUAL,
+            sent BOOLEAN VIRTUAL
+        ) USING BINDING PATTERNS (
+            sendMessage[messenger] ( text ) : ( sent )
+        );
+        """
+        with pytest.raises(ParseError, match="declared inputs"):
+            tables.execute_ddl(bad)
+
+    def test_binding_pattern_outputs_checked(self, tables):
+        tables.execute_ddl(TABLE1_DDL)
+        bad = """
+        EXTENDED RELATION broken (
+            address STRING,
+            messenger SERVICE,
+            text STRING VIRTUAL,
+            sent BOOLEAN VIRTUAL
+        ) USING BINDING PATTERNS (
+            sendMessage[messenger] ( address, text ) : ( )
+        );
+        """
+        with pytest.raises(ParseError, match="declared outputs"):
+            tables.execute_ddl(bad)
+
+
+class TestParseErrors:
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError, match="expected PROTOTYPE"):
+            parse_ddl("DROP TABLE x;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_ddl("PROTOTYPE p( ) : ( x REAL )")
+
+    def test_unknown_type(self):
+        from repro.errors import TypingError
+
+        with pytest.raises(TypingError):
+            parse_ddl("PROTOTYPE p( ) : ( x VARCHAR );")
+
+    def test_comments_allowed(self, tables):
+        tables.execute_ddl(
+            "-- the temperature prototype\n"
+            "PROTOTYPE getTemperature( ) : ( temperature REAL );"
+        )
+        assert tables.environment.prototype("getTemperature")

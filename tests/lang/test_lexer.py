@@ -1,0 +1,91 @@
+"""Tests for the shared tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import TokenStream, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_identifiers_and_punctuation(self):
+        assert kinds("project[name](r)") == [
+            ("ident", "project"),
+            ("punct", "["),
+            ("ident", "name"),
+            ("punct", "]"),
+            ("punct", "("),
+            ("ident", "r"),
+            ("punct", ")"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("35.5 5 -2 1e3") == [
+            ("number", "35.5"),
+            ("number", "5"),
+            ("number", "-2"),
+            ("number", "1e3"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'Bonjour!' 'O''Brien'") == [
+            ("string", "Bonjour!"),
+            ("string", "O'Brien"),
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multi_char_punctuation(self):
+        assert kinds("a := b -> c <= d >= e != f") == [
+            ("ident", "a"),
+            ("punct", ":="),
+            ("ident", "b"),
+            ("punct", "->"),
+            ("ident", "c"),
+            ("punct", "<="),
+            ("ident", "d"),
+            ("punct", ">="),
+            ("ident", "e"),
+            ("punct", "!="),
+            ("ident", "f"),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestTokenStream:
+    def test_expectations(self):
+        stream = TokenStream(tokenize("SERVICE email"))
+        stream.expect_keyword("service")  # case-insensitive
+        assert stream.expect_ident().value == "email"
+        assert stream.at_end()
+
+    def test_expect_failure_reports_position(self):
+        stream = TokenStream(tokenize("abc"))
+        with pytest.raises(ParseError, match="expected ';'"):
+            stream.expect_punct(";")
+
+    def test_accept_returns_false_without_consuming(self):
+        stream = TokenStream(tokenize("abc"))
+        assert not stream.accept_punct(",")
+        assert stream.current.value == "abc"
+
+    def test_peek(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().value == "b"
+        assert stream.current.value == "a"

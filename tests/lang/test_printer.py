@@ -1,0 +1,95 @@
+"""Tests for the plan pretty-printers."""
+
+from repro.algebra import col, scan
+from repro.lang import explain, to_math, to_sal
+
+
+class TestToSal:
+    def test_matches_render(self, paper_env):
+        q = scan(paper_env, "contacts").select(col("name").eq("Carla")).query()
+        assert to_sal(q) == q.root.render()
+
+    def test_accepts_bare_operators(self, paper_env):
+        node = scan(paper_env, "contacts").node
+        assert to_sal(node) == "contacts"
+
+
+class TestToMath:
+    def test_table4_style(self, paper_env):
+        q = (
+            scan(paper_env, "contacts")
+            .select(col("name").ne("Carla"))
+            .assign("text", "Bonjour!")
+            .invoke("sendMessage")
+            .query()
+        )
+        text = to_math(q)
+        assert text == (
+            "β[sendMessage[messenger]](α[text:='Bonjour!']"
+            "(σ[name != 'Carla'](contacts)))"
+        )
+
+    def test_join_symbol_lists_keys(self, paper_env):
+        q = scan(paper_env, "contacts").join(scan(paper_env, "sensors")).query()
+        assert "⋈[×]" in to_math(q)  # no common real attrs: product
+
+    def test_leaf_is_name(self, paper_env):
+        assert to_math(scan(paper_env, "contacts").node) == "contacts"
+
+
+class TestExplain:
+    def test_shows_schemas_with_virtual_stars(self, paper_env):
+        q = scan(paper_env, "contacts").query()
+        text = explain(q)
+        assert "text*" in text and "sent*" in text
+        assert "BP×1" in text
+
+    def test_marks_streams(self, paper_env):
+        from repro.continuous.xdrelation import XDRelation
+        from repro.devices.scenario import temperatures_schema
+
+        paper_env.add_relation(XDRelation(temperatures_schema(), infinite=True))
+        q = scan(paper_env, "temperatures").window(1).query()
+        text = explain(q)
+        assert "[stream]" in text
+        lines = text.splitlines()
+        assert lines[0].startswith("W[1]")
+        assert not lines[0].endswith("[stream]")  # the window is finite
+
+    def test_indentation_follows_depth(self, paper_env):
+        q = (
+            scan(paper_env, "contacts")
+            .select(col("name").eq("Carla"))
+            .project("name")
+            .query()
+        )
+        lines = explain(q).splitlines()
+        assert lines[0].startswith("π")
+        assert lines[1].startswith("  σ")
+        assert lines[2].startswith("    scan")
+
+
+class TestToDot:
+    def test_digraph_structure(self, paper_env):
+        from repro.lang import to_dot
+
+        q = (
+            scan(paper_env, "contacts")
+            .select(col("name").eq("Carla"))
+            .project("name")
+            .query()
+        )
+        dot = to_dot(q)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 2  # scan→σ, σ→π
+        assert "π[name]" in dot
+        assert "text*" in dot  # virtual attributes starred in labels
+
+    def test_custom_name_and_quote_escaping(self, paper_env):
+        from repro.lang import to_dot
+
+        q = scan(paper_env, "contacts").select(col("name").eq('Ca"rla')).query()
+        dot = to_dot(q, name="g")
+        assert "digraph g {" in dot
+        assert '"Ca"rla"' not in dot  # quotes escaped to keep dot valid

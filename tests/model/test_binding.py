@@ -1,0 +1,64 @@
+"""Tests for binding patterns (Definition 2)."""
+
+import pytest
+
+from repro.devices.prototypes import CHECK_PHOTO, SEND_MESSAGE, TAKE_PHOTO
+from repro.errors import BindingPatternError
+from repro.model.binding import BindingPattern
+
+
+class TestConstruction:
+    def test_basic(self):
+        bp = BindingPattern(SEND_MESSAGE, "messenger")
+        assert bp.prototype is SEND_MESSAGE
+        assert bp.service_attribute == "messenger"
+
+    def test_active_follows_prototype(self):
+        assert BindingPattern(SEND_MESSAGE, "messenger").active
+        assert not BindingPattern(CHECK_PHOTO, "camera").active
+
+    def test_service_attribute_cannot_be_input(self):
+        with pytest.raises(BindingPatternError):
+            BindingPattern(SEND_MESSAGE, "address")
+
+    def test_service_attribute_cannot_be_output(self):
+        with pytest.raises(BindingPatternError):
+            BindingPattern(SEND_MESSAGE, "sent")
+
+    def test_empty_service_attribute(self):
+        with pytest.raises(BindingPatternError):
+            BindingPattern(SEND_MESSAGE, "")
+
+
+class TestAccessors:
+    def test_input_output_names(self):
+        bp = BindingPattern(TAKE_PHOTO, "camera")
+        assert bp.input_names == {"area", "quality"}
+        assert bp.output_names == {"photo"}
+
+    def test_referenced_names(self):
+        bp = BindingPattern(TAKE_PHOTO, "camera")
+        assert bp.referenced_names == {"area", "quality", "photo", "camera"}
+
+    def test_describe_matches_table2_style(self):
+        bp = BindingPattern(SEND_MESSAGE, "messenger")
+        assert bp.describe() == "sendMessage[messenger] ( address, text ) : ( sent )"
+
+
+class TestRenaming:
+    def test_rename_service_attribute(self):
+        bp = BindingPattern(SEND_MESSAGE, "messenger")
+        renamed = bp.renamed("messenger", "channel")
+        assert renamed.service_attribute == "channel"
+        assert renamed.prototype is SEND_MESSAGE
+
+    def test_rename_other_attribute_is_noop(self):
+        bp = BindingPattern(SEND_MESSAGE, "messenger")
+        assert bp.renamed("address", "addr") is bp
+
+    def test_equality(self):
+        a = BindingPattern(SEND_MESSAGE, "messenger")
+        b = BindingPattern(SEND_MESSAGE, "messenger")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BindingPattern(SEND_MESSAGE, "other")

@@ -1,0 +1,86 @@
+"""Tests for prototypes (Sections 2.1 and 2.3.1)."""
+
+import pytest
+
+from repro.devices.prototypes import (
+    CHECK_PHOTO,
+    GET_TEMPERATURE,
+    SEND_MESSAGE,
+    TAKE_PHOTO,
+)
+from repro.errors import SchemaError
+from repro.model.prototypes import Prototype
+from repro.model.schema import RelationSchema
+
+
+class TestInvariants:
+    def test_output_must_be_nonempty(self):
+        """schema(Output_psi) != {} (Section 2.3.1)."""
+        with pytest.raises(SchemaError, match="output schema must be non-empty"):
+            Prototype("p", RelationSchema.of(a="STRING"), RelationSchema(()))
+
+    def test_input_output_disjoint(self):
+        """schema(Input) ∩ schema(Output) = {} (Section 2.3.1)."""
+        with pytest.raises(SchemaError, match="overlap"):
+            Prototype(
+                "p",
+                RelationSchema.of(a="STRING"),
+                RelationSchema.of(a="STRING"),
+            )
+
+    def test_empty_input_is_fine(self):
+        proto = Prototype("p", RelationSchema(()), RelationSchema.of(x="REAL"))
+        assert proto.input_names == frozenset()
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError, match="invalid prototype name"):
+            Prototype("", RelationSchema(()), RelationSchema.of(x="REAL"))
+
+
+class TestTable1Prototypes:
+    """The four prototypes of Table 1, exactly as declared."""
+
+    def test_send_message(self):
+        assert SEND_MESSAGE.active
+        assert SEND_MESSAGE.input_names == {"address", "text"}
+        assert SEND_MESSAGE.output_names == {"sent"}
+
+    def test_check_photo(self):
+        assert CHECK_PHOTO.is_passive
+        assert CHECK_PHOTO.input_names == {"area"}
+        assert CHECK_PHOTO.output_names == {"quality", "delay"}
+
+    def test_take_photo(self):
+        assert TAKE_PHOTO.is_passive
+        assert TAKE_PHOTO.input_names == {"area", "quality"}
+        assert TAKE_PHOTO.output_names == {"photo"}
+
+    def test_get_temperature(self):
+        assert GET_TEMPERATURE.is_passive
+        assert GET_TEMPERATURE.input_names == frozenset()
+        assert GET_TEMPERATURE.output_names == {"temperature"}
+
+    def test_signature_rendering(self):
+        assert SEND_MESSAGE.signature() == (
+            "PROTOTYPE sendMessage( address STRING, text STRING ) "
+            ": ( sent BOOLEAN ) ACTIVE"
+        )
+        assert GET_TEMPERATURE.signature() == (
+            "PROTOTYPE getTemperature(  ) : ( temperature REAL )"
+        )
+
+    def test_equality(self):
+        clone = Prototype(
+            "sendMessage",
+            RelationSchema.of(address="STRING", text="STRING"),
+            RelationSchema.of(sent="BOOLEAN"),
+            active=True,
+        )
+        assert clone == SEND_MESSAGE
+        passive_twin = Prototype(
+            "sendMessage",
+            RelationSchema.of(address="STRING", text="STRING"),
+            RelationSchema.of(sent="BOOLEAN"),
+            active=False,
+        )
+        assert passive_twin != SEND_MESSAGE

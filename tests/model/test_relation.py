@@ -1,0 +1,126 @@
+"""Tests for X-Relations (Definition 3) and set operators (3.1.1)."""
+
+import pytest
+
+from repro.devices.scenario import contacts_schema, surveillance_schema
+from repro.errors import InvalidOperatorError, SchemaError
+from repro.model.relation import XRelation
+
+
+def contacts():
+    return XRelation.from_mappings(
+        contacts_schema(),
+        [
+            {"name": "Nicolas", "address": "nicolas@elysee.fr", "messenger": "email"},
+            {"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"},
+        ],
+    )
+
+
+class TestConstruction:
+    def test_tuples_are_sets(self):
+        schema = surveillance_schema()
+        rel = XRelation(
+            schema,
+            [("A", "office", 28.0), ("A", "office", 28.0), ("B", "roof", 25.0)],
+        )
+        assert len(rel) == 2
+
+    def test_tuples_validated(self):
+        with pytest.raises(SchemaError):
+            XRelation(surveillance_schema(), [("A", "office")])  # wrong arity
+
+    def test_int_coerced_to_real(self):
+        rel = XRelation(surveillance_schema(), [("A", "office", 28)])
+        (t,) = rel
+        assert isinstance(t[2], float)
+
+    def test_from_mappings_ignores_virtuals_layout(self):
+        rel = contacts()
+        (first,) = [t for t in rel if t[0] == "Carla"]
+        assert first == ("Carla", "carla@elysee.fr", "email")  # 3 real attrs
+
+    def test_empty_relation(self):
+        rel = XRelation(contacts_schema())
+        assert len(rel) == 0
+        assert rel.to_mappings() == []
+
+
+class TestAccess:
+    def test_column(self):
+        rel = contacts()
+        assert rel.column("name") == ["Carla", "Nicolas"]
+
+    def test_to_mappings_deterministic(self):
+        rel = contacts()
+        assert rel.to_mappings() == rel.to_mappings()
+        names = [m["name"] for m in rel.to_mappings()]
+        assert names == sorted(names)
+
+    def test_contains(self):
+        rel = contacts()
+        assert ("Carla", "carla@elysee.fr", "email") in rel
+
+
+class TestSetOperators:
+    def test_union(self):
+        a = contacts()
+        b = XRelation.from_mappings(
+            contacts_schema(),
+            [{"name": "Francois", "address": "francois@im.gouv.fr", "messenger": "jabber"}],
+        )
+        assert len(a.union(b)) == 3
+        assert len(a | b) == 3
+
+    def test_intersection(self):
+        a = contacts()
+        b = XRelation.from_mappings(
+            contacts_schema(),
+            [{"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"}],
+        )
+        assert (a & b).column("name") == ["Carla"]
+
+    def test_difference(self):
+        a = contacts()
+        b = XRelation.from_mappings(
+            contacts_schema(),
+            [{"name": "Carla", "address": "carla@elysee.fr", "messenger": "email"}],
+        )
+        assert (a - b).column("name") == ["Nicolas"]
+
+    def test_incompatible_schemas_rejected(self):
+        a = contacts()
+        b = XRelation(surveillance_schema(), [("A", "office", 28.0)])
+        with pytest.raises(InvalidOperatorError):
+            a.union(b)
+
+    def test_compatible_across_names(self):
+        """Set ops require schema compatibility, not identical symbols."""
+        a = contacts()
+        b = XRelation.from_mappings(
+            contacts_schema().with_name("other"),
+            [{"name": "X", "address": "x@y.z", "messenger": "email"}],
+        )
+        assert len(a | b) == 3
+
+
+class TestRendering:
+    def test_virtual_columns_render_star(self):
+        table = contacts().to_table()
+        lines = table.splitlines()
+        assert "text" in lines[1] and "sent" in lines[1]
+        data_lines = [l for l in lines if "Carla" in l]
+        assert data_lines and "| *" in data_lines[0]
+
+    def test_blob_rendering(self):
+        from repro.devices.scenario import cameras_schema
+
+        rel = XRelation.from_mappings(
+            cameras_schema().realize(["photo"]),
+            [{"camera": "c1", "area": "office", "photo": b"12345"}],
+        )
+        assert "<blob 5B>" in rel.to_table()
+
+    def test_equality(self):
+        assert contacts() == contacts()
+        assert hash(contacts()) == hash(contacts())

@@ -1,0 +1,80 @@
+"""Tests for attribute data types and value validation."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.model.types import DataType, coerce_value, validate_value
+
+
+class TestFromName:
+    def test_lowercase(self):
+        assert DataType.from_name("string") is DataType.STRING
+
+    def test_uppercase(self):
+        assert DataType.from_name("REAL") is DataType.REAL
+
+    def test_mixed_case(self):
+        assert DataType.from_name("Boolean") is DataType.BOOLEAN
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypingError, match="unknown data type"):
+            DataType.from_name("varchar")
+
+    def test_all_ddl_types_resolve(self):
+        for name in ("STRING", "INTEGER", "REAL", "BOOLEAN", "BLOB", "SERVICE", "TIMESTAMP"):
+            assert DataType.from_name(name).value == name
+
+
+class TestValidate:
+    @pytest.mark.parametrize(
+        "value,dtype",
+        [
+            ("hello", DataType.STRING),
+            (42, DataType.INTEGER),
+            (3.14, DataType.REAL),
+            (7, DataType.REAL),  # ints live in REAL's domain
+            (True, DataType.BOOLEAN),
+            (b"blob", DataType.BLOB),
+            ("sensor01", DataType.SERVICE),
+            (12, DataType.TIMESTAMP),
+        ],
+    )
+    def test_valid(self, value, dtype):
+        assert validate_value(value, dtype)
+
+    @pytest.mark.parametrize(
+        "value,dtype",
+        [
+            (42, DataType.STRING),
+            ("x", DataType.INTEGER),
+            (None, DataType.REAL),
+            (1, DataType.BOOLEAN),
+            ("not-bytes", DataType.BLOB),
+            (3.5, DataType.TIMESTAMP),
+        ],
+    )
+    def test_invalid(self, value, dtype):
+        assert not validate_value(value, dtype)
+
+    def test_bool_is_not_integer(self):
+        """Python's bool subclasses int; the model keeps them apart."""
+        assert not validate_value(True, DataType.INTEGER)
+        assert not validate_value(False, DataType.REAL)
+
+
+class TestCoerce:
+    def test_int_to_real(self):
+        coerced = coerce_value(5, DataType.REAL)
+        assert coerced == 5.0
+        assert isinstance(coerced, float)
+
+    def test_valid_passthrough(self):
+        assert coerce_value("x", DataType.STRING) == "x"
+
+    def test_bool_not_coerced_to_real(self):
+        with pytest.raises(TypingError):
+            coerce_value(True, DataType.REAL)
+
+    def test_invalid_raises(self):
+        with pytest.raises(TypingError, match="not a valid INTEGER"):
+            coerce_value("12", DataType.INTEGER)

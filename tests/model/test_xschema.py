@@ -1,0 +1,340 @@
+"""Tests for extended relation schemas (Definitions 2–4 and the schema
+derivations of Table 3)."""
+
+import pytest
+
+from repro.devices.prototypes import CHECK_PHOTO, SEND_MESSAGE, TAKE_PHOTO
+from repro.devices.scenario import cameras_schema, contacts_schema
+from repro.errors import (
+    BindingPatternError,
+    DuplicateAttributeError,
+    SchemaError,
+    UnknownAttributeError,
+    VirtualAttributeError,
+)
+from repro.model.attributes import Attribute
+from repro.model.binding import BindingPattern
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+
+
+def simple_schema(**kwargs):
+    defaults = dict(
+        name="r",
+        attributes=[
+            Attribute("a", DataType.STRING),
+            Attribute("v", DataType.REAL),
+            Attribute("b", DataType.INTEGER),
+        ],
+        virtual={"v"},
+    )
+    defaults.update(kwargs)
+    return ExtendedRelationSchema(**defaults)
+
+
+class TestConstruction:
+    def test_partition(self):
+        schema = contacts_schema()
+        assert schema.real_names == {"name", "address", "messenger"}
+        assert schema.virtual_names == {"text", "sent"}
+        assert schema.name_set == {"name", "address", "text", "messenger", "sent"}
+
+    def test_arity_counts_virtual(self):
+        assert contacts_schema().arity == 5
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(DuplicateAttributeError):
+            ExtendedRelationSchema(
+                "r",
+                [Attribute("a", DataType.STRING), Attribute("a", DataType.REAL)],
+            )
+
+    def test_virtual_must_exist(self):
+        with pytest.raises(UnknownAttributeError):
+            simple_schema(virtual={"ghost"})
+
+    def test_all_real_is_a_standard_relation(self):
+        """Standard relations are X-Relations with no virtual attributes."""
+        schema = simple_schema(virtual=set())
+        assert schema.virtual_names == frozenset()
+        assert schema.real_names == {"a", "v", "b"}
+
+
+class TestBindingPatternRestrictions:
+    """The Definition 2 restrictions, enforced at construction."""
+
+    def test_valid_contacts(self):
+        schema = contacts_schema()
+        assert len(schema.binding_patterns) == 1
+        assert schema.binding_patterns[0].service_attribute == "messenger"
+
+    def test_service_attribute_must_be_in_schema(self):
+        with pytest.raises(BindingPatternError, match="not in schema"):
+            ExtendedRelationSchema(
+                "r",
+                [
+                    Attribute("address", DataType.STRING),
+                    Attribute("text", DataType.STRING),
+                    Attribute("sent", DataType.BOOLEAN),
+                ],
+                virtual={"text", "sent"},
+                binding_patterns=[BindingPattern(SEND_MESSAGE, "messenger")],
+            )
+
+    def test_service_attribute_must_be_real(self):
+        with pytest.raises(BindingPatternError, match="must be a real attribute"):
+            ExtendedRelationSchema(
+                "r",
+                [
+                    Attribute("address", DataType.STRING),
+                    Attribute("text", DataType.STRING),
+                    Attribute("messenger", DataType.SERVICE),
+                    Attribute("sent", DataType.BOOLEAN),
+                ],
+                virtual={"text", "sent", "messenger"},
+                binding_patterns=[BindingPattern(SEND_MESSAGE, "messenger")],
+            )
+
+    def test_inputs_must_be_in_schema(self):
+        with pytest.raises(BindingPatternError, match="input attributes"):
+            ExtendedRelationSchema(
+                "r",
+                [
+                    Attribute("text", DataType.STRING),
+                    Attribute("messenger", DataType.SERVICE),
+                    Attribute("sent", DataType.BOOLEAN),
+                ],
+                virtual={"text", "sent"},
+                binding_patterns=[BindingPattern(SEND_MESSAGE, "messenger")],
+            )
+
+    def test_outputs_must_be_virtual(self):
+        with pytest.raises(BindingPatternError, match="must be virtual"):
+            ExtendedRelationSchema(
+                "r",
+                [
+                    Attribute("address", DataType.STRING),
+                    Attribute("text", DataType.STRING),
+                    Attribute("messenger", DataType.SERVICE),
+                    Attribute("sent", DataType.BOOLEAN),
+                ],
+                virtual={"text"},
+                binding_patterns=[BindingPattern(SEND_MESSAGE, "messenger")],
+            )
+
+    def test_input_type_checked(self):
+        with pytest.raises(BindingPatternError, match="has type"):
+            ExtendedRelationSchema(
+                "r",
+                [
+                    Attribute("address", DataType.INTEGER),  # wrong type
+                    Attribute("text", DataType.STRING),
+                    Attribute("messenger", DataType.SERVICE),
+                    Attribute("sent", DataType.BOOLEAN),
+                ],
+                virtual={"text", "sent"},
+                binding_patterns=[BindingPattern(SEND_MESSAGE, "messenger")],
+            )
+
+
+class TestProjectionOfTuples:
+    """Definition 4: the delta_R coordinate arithmetic."""
+
+    def test_example_4(self):
+        """The paper's Example 4, verbatim."""
+        schema = contacts_schema()
+        t = ("Nicolas", "nicolas@elysee.fr", "email")
+        # t[messenger] = t(delta(4)) = t(3) — 1-based in the paper
+        assert schema.tuple_value(t, "messenger") == "email"
+        assert schema.project_tuple(t, ["address", "messenger"]) == (
+            "nicolas@elysee.fr",
+            "email",
+        )
+
+    def test_real_positions_skip_virtuals(self):
+        schema = contacts_schema()
+        assert schema.real_position("name") == 0
+        assert schema.real_position("address") == 1
+        assert schema.real_position("messenger") == 2  # text (virtual) skipped
+
+    def test_projecting_virtual_raises(self):
+        schema = contacts_schema()
+        with pytest.raises(VirtualAttributeError):
+            schema.real_position("text")
+
+    def test_projecting_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            contacts_schema().real_position("ghost")
+
+    def test_tuple_from_mapping_rejects_virtual_values(self):
+        schema = contacts_schema()
+        with pytest.raises(VirtualAttributeError):
+            schema.tuple_from_mapping(
+                {"name": "X", "address": "a@b", "messenger": "email", "text": "hi"}
+            )
+
+    def test_validate_tuple_arity(self):
+        schema = contacts_schema()
+        with pytest.raises(SchemaError, match="does not fit"):
+            schema.validate_tuple(("too", "short"))
+
+
+class TestProjectDerivation:
+    """Table 3a: schema of pi_Y."""
+
+    def test_requested_order_and_partition(self):
+        schema = contacts_schema().project(["messenger", "sent", "name"])
+        assert schema.names == ("messenger", "sent", "name")  # Y's order
+        assert schema.virtual_names == {"sent"}
+
+    def test_binding_pattern_survives_when_all_attrs_kept(self):
+        schema = contacts_schema().project(
+            ["address", "text", "messenger", "sent"]
+        )
+        assert len(schema.binding_patterns) == 1
+
+    def test_binding_pattern_dropped_when_input_lost(self):
+        schema = contacts_schema().project(["text", "messenger", "sent"])
+        assert schema.binding_patterns == ()  # address (input) is gone
+
+    def test_binding_pattern_dropped_when_service_attr_lost(self):
+        schema = contacts_schema().project(["address", "text", "sent"])
+        assert schema.binding_patterns == ()
+
+    def test_binding_pattern_dropped_when_output_lost(self):
+        schema = contacts_schema().project(["address", "text", "messenger"])
+        assert schema.binding_patterns == ()
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            contacts_schema().project(["ghost"])
+
+
+class TestRenameDerivation:
+    """Table 3c: schema of rho."""
+
+    def test_renames_and_keeps_partition(self):
+        schema = contacts_schema().rename("text", "body")
+        assert "body" in schema.virtual_names
+        assert "text" not in schema
+        assert schema.names == ("name", "address", "body", "messenger", "sent")
+
+    def test_service_attribute_follows_rename(self):
+        schema = contacts_schema().rename("messenger", "channel")
+        assert schema.binding_patterns[0].service_attribute == "channel"
+
+    def test_renaming_prototype_input_drops_pattern(self):
+        """Prototype schemas are fixed: renaming 'address' orphans the BP."""
+        schema = contacts_schema().rename("address", "addr")
+        assert schema.binding_patterns == ()
+
+    def test_renaming_prototype_output_drops_pattern(self):
+        schema = contacts_schema().rename("sent", "ok")
+        assert schema.binding_patterns == ()
+
+    def test_new_name_must_be_fresh(self):
+        with pytest.raises(SchemaError, match="already in schema"):
+            contacts_schema().rename("text", "name")
+
+    def test_old_name_must_exist(self):
+        with pytest.raises(UnknownAttributeError):
+            contacts_schema().rename("ghost", "x")
+
+
+class TestRealizeDerivation:
+    """Realization (Tables 3e/3f): virtual attributes become real."""
+
+    def test_realize_moves_partition(self):
+        schema = contacts_schema().realize(["text"])
+        assert "text" in schema.real_names
+        assert schema.virtual_names == {"sent"}
+
+    def test_realize_keeps_pattern_with_virtual_outputs(self):
+        schema = contacts_schema().realize(["text"])
+        assert len(schema.binding_patterns) == 1  # sent is still virtual
+
+    def test_realize_output_drops_pattern(self):
+        schema = contacts_schema().realize(["sent"])
+        assert schema.binding_patterns == ()
+
+    def test_realize_real_attribute_raises(self):
+        with pytest.raises(VirtualAttributeError, match="already real"):
+            contacts_schema().realize(["name"])
+
+    def test_realize_check_photo_outputs_keeps_take_photo(self):
+        """Realizing quality/delay keeps takePhoto (photo still virtual)."""
+        schema = cameras_schema().realize(["quality", "delay"])
+        names = [bp.prototype.name for bp in schema.binding_patterns]
+        assert names == ["takePhoto"]
+
+
+class TestJoinDerivation:
+    """Table 3d: schema of the natural join."""
+
+    def test_disjoint_schemas_concatenate(self):
+        left = simple_schema()
+        right = ExtendedRelationSchema(
+            "s", [Attribute("c", DataType.STRING)], set()
+        )
+        joined = left.join(right)
+        assert joined.names == ("a", "v", "b", "c")
+        assert joined.virtual_names == {"v"}
+
+    def test_real_in_one_operand_realizes(self):
+        """An attribute virtual on one side and real on the other becomes
+        real in the result — implicit realization."""
+        left = simple_schema()  # v virtual
+        right = ExtendedRelationSchema(
+            "s", [Attribute("v", DataType.REAL)], set()
+        )  # v real
+        joined = left.join(right)
+        assert "v" in joined.real_names
+
+    def test_virtual_in_both_stays_virtual(self):
+        left = simple_schema()
+        right = ExtendedRelationSchema(
+            "s", [Attribute("v", DataType.REAL)], {"v"}
+        )
+        joined = left.join(right)
+        assert "v" in joined.virtual_names
+
+    def test_ursa_type_conflict(self):
+        left = simple_schema()
+        right = ExtendedRelationSchema(
+            "s", [Attribute("a", DataType.INTEGER)], set()
+        )
+        with pytest.raises(SchemaError, match="URSA"):
+            left.join(right)
+
+    def test_binding_patterns_union(self):
+        joined = contacts_schema().join(cameras_schema())
+        names = sorted(bp.prototype.name for bp in joined.binding_patterns)
+        assert names == ["checkPhoto", "sendMessage", "takePhoto"]
+
+    def test_join_drops_pattern_whose_output_became_real(self):
+        """If the other operand holds 'sent' as a real attribute, the
+        sendMessage pattern dies in the join."""
+        other = ExtendedRelationSchema(
+            "s", [Attribute("sent", DataType.BOOLEAN)], set()
+        )
+        joined = contacts_schema().join(other)
+        assert joined.binding_patterns == ()
+        assert "sent" in joined.real_names
+
+
+class TestCompatibility:
+    def test_compatible_ignores_name(self):
+        a = contacts_schema()
+        b = contacts_schema().with_name("other")
+        assert a.compatible(b)
+        assert a != b  # equality includes the relation symbol
+
+    def test_incompatible_partition(self):
+        a = simple_schema()
+        b = simple_schema(virtual=set())
+        assert not a.compatible(b)
+
+    def test_describe_mentions_virtual(self):
+        text = contacts_schema().describe()
+        assert "text STRING VIRTUAL" in text
+        assert "sendMessage[messenger]" in text

@@ -1,0 +1,156 @@
+"""Tests for the discovery bus, Local ERMs and the core ERM (Figure 1)."""
+
+import pytest
+
+from repro.continuous.time import VirtualClock
+from repro.devices.prototypes import GET_TEMPERATURE
+from repro.devices.sensors import TemperatureSensor
+from repro.errors import UnknownServiceError
+from repro.model.services import ServiceRegistry
+from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
+from repro.pems.erm import EnvironmentResourceManager
+from repro.pems.local_erm import LocalEnvironmentResourceManager
+
+
+@pytest.fixture
+def rig():
+    clock = VirtualClock()
+    bus = DiscoveryBus()
+    erm = EnvironmentResourceManager(bus, clock, ServiceRegistry())
+    local = LocalEnvironmentResourceManager("floor-1", bus, clock, lease=4)
+    return clock, bus, erm, local
+
+
+def sensor_service(reference="sensor01", location="corridor"):
+    return TemperatureSensor(reference, location).as_service()
+
+
+class TestBus:
+    def test_publish_reaches_subscribers(self):
+        bus = DiscoveryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        ann = Announcement(AnnouncementKind.ALIVE, sensor_service(), "erm", 4, 0)
+        bus.publish(ann)
+        assert seen == [ann]
+        assert bus.log == [ann]
+
+    def test_unsubscribe(self):
+        bus = DiscoveryBus()
+        seen = []
+        listener = seen.append
+        bus.subscribe(listener)
+        bus.unsubscribe(listener)
+        bus.publish(Announcement(AnnouncementKind.ALIVE, sensor_service(), "e", 4, 0))
+        assert seen == []
+
+
+class TestRegistration:
+    def test_register_announces_and_erm_discovers(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        assert "sensor01" in erm.registry
+        assert erm.events[0].kind == "appeared"
+
+    def test_deregister_sends_bye(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        local.deregister("sensor01")
+        assert "sensor01" not in erm.registry
+        assert erm.events[-1].kind == "left"
+
+    def test_deregister_unknown_raises(self, rig):
+        _, _, _, local = rig
+        with pytest.raises(UnknownServiceError):
+            local.deregister("ghost")
+
+    def test_services_listing_sorted(self, rig):
+        _, _, _, local = rig
+        local.register(sensor_service("b"))
+        local.register(sensor_service("a"))
+        assert [s.reference for s in local.services] == ["a", "b"]
+
+
+class TestLeases:
+    def test_renewal_keeps_service_alive(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        clock.run(20)  # far past the original lease: renewals keep it up
+        assert "sensor01" in erm.registry
+
+    def test_crash_expires_after_lease(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        local.crash()
+        clock.run(2)
+        assert "sensor01" in erm.registry  # lease not over yet
+        clock.run(10)
+        assert "sensor01" not in erm.registry
+        assert any(e.kind == "expired" for e in erm.events)
+
+    def test_recovery_reannounces(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        local.crash()
+        clock.run(12)
+        assert "sensor01" not in erm.registry
+        local.recover()
+        clock.run(2)
+        assert "sensor01" in erm.registry
+
+    def test_available_by_prototype(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service("s2"))
+        local.register(sensor_service("s1"))
+        providers = erm.available(GET_TEMPERATURE)
+        assert [s.reference for s in providers] == ["s1", "s2"]
+
+
+class TestDiscoveryListeners:
+    def test_listener_sees_all_events(self, rig):
+        clock, bus, erm, local = rig
+        events = []
+        erm.on_discovery(events.append)
+        local.register(sensor_service())
+        local.deregister("sensor01")
+        assert [e.kind for e in events] == ["appeared", "left"]
+
+    def test_reannouncement_is_not_a_new_appearance(self, rig):
+        clock, bus, erm, local = rig
+        events = []
+        erm.on_discovery(events.append)
+        local.register(sensor_service())
+        clock.run(10)  # several renewals
+        assert [e.kind for e in events] == ["appeared"]
+
+
+class TestInvocationViaERM:
+    def test_sync_invoke(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        result = erm.invoke(GET_TEMPERATURE, "sensor01", {})
+        assert len(result) == 1
+
+    def test_async_invoke_runs_next_tick(self, rig):
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        outcomes = []
+        erm.invoke_async(
+            GET_TEMPERATURE, "sensor01", {}, lambda r, e: outcomes.append((r, e))
+        )
+        assert outcomes == []  # not yet
+        clock.tick()
+        assert len(outcomes) == 1
+        result, error = outcomes[0]
+        assert error is None and len(result) == 1
+
+    def test_async_invoke_delivers_errors(self, rig):
+        clock, bus, erm, local = rig
+        outcomes = []
+        erm.invoke_async(
+            GET_TEMPERATURE, "ghost", {}, lambda r, e: outcomes.append((r, e))
+        )
+        clock.tick()
+        result, error = outcomes[0]
+        assert result is None
+        assert isinstance(error, UnknownServiceError)

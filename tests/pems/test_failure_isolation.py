@@ -1,0 +1,83 @@
+"""Tests for tick-loop failure isolation in the query processor."""
+
+import pytest
+
+from repro.algebra import scan
+from repro.devices.prototypes import STANDARD_PROTOTYPES
+from repro.devices.scenario import sensors_schema
+from repro.devices.sensors import TemperatureSensor
+from repro.errors import UnknownServiceError
+from repro.pems.pems import PEMS
+
+
+@pytest.fixture
+def pems():
+    system = PEMS()
+    for prototype in STANDARD_PROTOTYPES:
+        system.environment.declare_prototype(prototype)
+    system.tables.create_relation(sensors_schema())
+    system.tables.insert(
+        "sensors", [{"sensor": "ghost", "location": "nowhere"}]
+    )
+    return system
+
+
+class TestFailureIsolation:
+    def test_failing_query_is_logged_not_fatal(self, pems):
+        """The 'ghost' sensor is in the table but not registered: strict
+        invocation fails every tick, and the failure is captured."""
+        bad = pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .invoke("getTemperature", on_error="raise")
+            .query(),
+            name="bad",
+        )
+        pems.run(3)
+        failures = pems.queries.failures
+        assert len(failures) == 3
+        assert all(f.query_name == "bad" for f in failures)
+        assert all(isinstance(f.error, UnknownServiceError) for f in failures)
+        assert pems.clock.now == 3  # the clock kept running
+
+    def test_other_queries_keep_evaluating(self, pems):
+        pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .invoke("getTemperature", on_error="raise")
+            .query(),
+            name="bad",
+        )
+        good = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="watch"
+        )
+        pems.run(2)
+        assert good.last_result is not None
+        assert good.last_result.instant == 2
+
+    def test_failed_query_recovers_when_cause_disappears(self, pems):
+        bad = pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .invoke("getTemperature", on_error="raise")
+            .query(),
+            name="flaky",
+        )
+        pems.run(1)
+        assert len(pems.queries.failures) == 1
+        # The missing service appears: the query starts succeeding.
+        pems.environment.register_service(
+            TemperatureSensor("ghost", "nowhere").as_service()
+        )
+        pems.run(1)
+        assert len(pems.queries.failures) == 1  # no new failures
+        assert bad.last_result is not None
+        assert len(bad.last_result.relation) == 1
+
+    def test_no_failures_in_healthy_system(self, pems):
+        pems.environment.register_service(
+            TemperatureSensor("ghost", "nowhere").as_service()
+        )
+        pems.queries.register_continuous(
+            scan(pems.environment, "sensors").invoke("getTemperature").query(),
+            name="fine",
+        )
+        pems.run(5)
+        assert pems.queries.failures == []

@@ -1,0 +1,139 @@
+"""Tests for the Query Processor: one-shot, continuous and discovery
+queries driven by the PEMS tick loop."""
+
+import pytest
+
+from repro.algebra import col, scan
+from repro.devices.prototypes import GET_TEMPERATURE, STANDARD_PROTOTYPES
+from repro.devices.scenario import sensors_schema
+from repro.devices.sensors import TemperatureSensor
+from repro.errors import SerenaError, UnknownAttributeError
+from repro.pems.pems import PEMS
+
+
+@pytest.fixture
+def pems():
+    system = PEMS()
+    for prototype in STANDARD_PROTOTYPES:
+        system.environment.declare_prototype(prototype)
+    system.tables.create_relation(sensors_schema())
+    return system
+
+
+def plug_sensor(pems, reference, location="office"):
+    local = pems.create_local_erm("field")
+    local.register(TemperatureSensor(reference, location).as_service())
+
+
+class TestOneShot:
+    def test_execute_at_current_instant(self, pems):
+        plug_sensor(pems, "sensor01")
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        pems.run(2)
+        result = pems.queries.execute(
+            scan(pems.environment, "sensors").invoke("getTemperature").query()
+        )
+        assert result.instant == 2
+        assert len(result.relation) == 1
+
+
+class TestContinuousRegistration:
+    def test_registered_queries_run_each_tick(self, pems):
+        cq = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="watch"
+        )
+        pems.run(3)
+        assert cq.last_result is not None
+        assert cq.last_result.instant == 3
+
+    def test_duplicate_name_rejected(self, pems):
+        pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="watch"
+        )
+        with pytest.raises(SerenaError, match="already registered"):
+            pems.queries.register_continuous(
+                scan(pems.environment, "sensors").query(), name="watch"
+            )
+
+    def test_deregister_stops_evaluation(self, pems):
+        cq = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="watch"
+        )
+        pems.run(1)
+        pems.queries.deregister_continuous("watch")
+        last = cq.last_result
+        pems.run(2)
+        assert cq.last_result is last
+
+    def test_lookup(self, pems):
+        cq = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="watch"
+        )
+        assert pems.queries.continuous_query("watch") is cq
+        with pytest.raises(SerenaError):
+            pems.queries.continuous_query("ghost")
+
+
+class TestDiscoveryQueries:
+    def test_initial_sync(self, pems):
+        plug_sensor(pems, "sensor01")
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        relation = pems.environment.instantaneous("sensors", pems.clock.now)
+        assert relation.column("sensor") == ["sensor01"]
+
+    def test_new_service_appears_in_table(self, pems):
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        plug_sensor(pems, "sensor01", "corridor")
+        pems.run(1)
+        relation = pems.environment.instantaneous("sensors", pems.clock.now)
+        (row,) = relation.to_mappings()
+        assert row == {"sensor": "sensor01", "location": "corridor"}
+
+    def test_departed_service_removed(self, pems):
+        plug_sensor(pems, "sensor01")
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        pems.run(1)
+        pems.create_local_erm("field").deregister("sensor01")
+        pems.run(1)
+        assert len(pems.environment.instantaneous("sensors", pems.clock.now)) == 0
+
+    def test_crashed_service_reaped_via_lease(self, pems):
+        local = pems.create_local_erm("field", lease=4)
+        local.register(TemperatureSensor("sensor01", "office").as_service())
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        local.crash()
+        pems.run(12)
+        assert len(pems.environment.instantaneous("sensors", pems.clock.now)) == 0
+
+    def test_service_attribute_must_exist(self, pems):
+        with pytest.raises(UnknownAttributeError):
+            pems.queries.register_discovery("getTemperature", "sensors", "nope")
+
+    def test_custom_row_builder(self, pems):
+        plug_sensor(pems, "sensor01", "corridor")
+        pems.queries.register_discovery(
+            "getTemperature",
+            "sensors",
+            "sensor",
+            row_builder=lambda service: {
+                "sensor": service.reference,
+                "location": "everywhere",
+            },
+        )
+        relation = pems.environment.instantaneous("sensors", pems.clock.now)
+        assert relation.column("location") == ["everywhere"]
+
+    def test_continuous_query_sees_updated_table_without_restart(self, pems):
+        """The Section 5.2 experiment: new sensors integrate into running
+        queries without stopping them."""
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        cq = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").invoke("getTemperature").query(),
+            name="all-temps",
+        )
+        plug_sensor(pems, "sensor01")
+        pems.run(1)
+        assert len(cq.last_result.relation) == 1
+        plug_sensor(pems, "sensor02")
+        pems.run(1)
+        assert len(cq.last_result.relation) == 2

@@ -1,0 +1,98 @@
+"""Property-based tests on continuous-query invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import EvaluationContext, Query, col, scan
+from repro.continuous.continuous_query import ContinuousQuery
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.scenario import temperatures_schema
+from repro.model.environment import PervasiveEnvironment
+
+# Scripted stream content: per instant, a list of (sensor index, temp).
+readings = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from([10.0, 20.0, 30.0, 40.0]),
+        ),
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_stream(script):
+    env = PervasiveEnvironment()
+    stream = XDRelation(temperatures_schema(), infinite=True)
+    env.add_relation(stream)
+    for instant, events in enumerate(script, start=1):
+        rows = [
+            (f"s{index}", "office", temperature, instant)
+            for index, temperature in set(events)
+        ]
+        stream.insert(rows, instant=instant)
+    return env, stream
+
+
+class TestWindowInvariants:
+    @given(readings, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_window_equals_union_of_journal(self, script, period):
+        env, stream = build_stream(script)
+        query = scan(env, "temperatures").window(period).query()
+        for instant in range(1, len(script) + 1):
+            result = query.evaluate(env, instant).relation
+            expected = set()
+            for j in range(max(1, instant - period + 1), instant + 1):
+                expected |= stream.inserted_at(j)
+            assert result.tuples == frozenset(expected)
+
+    @given(readings)
+    @settings(max_examples=60, deadline=None)
+    def test_windows_nest(self, script):
+        env, _ = build_stream(script)
+        instant = len(script)
+        small = scan(env, "temperatures").window(1).query().evaluate(env, instant)
+        large = scan(env, "temperatures").window(3).query().evaluate(env, instant)
+        assert small.relation.tuples <= large.relation.tuples
+
+
+class TestContinuousVsOneShot:
+    @given(readings)
+    @settings(max_examples=40, deadline=None)
+    def test_selection_over_window_matches_one_shot(self, script):
+        """For passive plans, continuous evaluation at τ equals one-shot
+        evaluation at τ (windows read exact journals)."""
+        env, _ = build_stream(script)
+        query = (
+            scan(env, "temperatures")
+            .window(2)
+            .select(col("temperature").ge(30.0))
+            .query()
+        )
+        continuous = ContinuousQuery(query, env)
+        for instant in range(1, len(script) + 1):
+            live = continuous.evaluate_at(instant)
+            fresh = query.evaluate(env, instant)
+            assert live.relation == fresh.relation
+
+    @given(readings)
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_stream_partitions_window_content(self, script):
+        """Under continuous evaluation, S[insertion] over W[1] emits each
+        stream tuple exactly once across all instants."""
+        env, stream = build_stream(script)
+        query = (
+            scan(env, "temperatures").window(1).stream("insertion").query()
+        )
+        continuous = ContinuousQuery(query, env)
+        emitted: list[tuple] = []
+        for instant in range(1, len(script) + 1):
+            continuous.evaluate_at(instant)
+        emitted = [t for _, t in continuous.emitted]
+        assert len(emitted) == len(set(emitted))
+        all_inserted = set()
+        for instant in range(1, len(script) + 1):
+            all_inserted |= stream.inserted_at(instant)
+        assert set(emitted) == all_inserted

@@ -1,0 +1,57 @@
+"""Property-based round trip: schema → DDL text → schema."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.continuous.time import VirtualClock
+from repro.devices.prototypes import STANDARD_PROTOTYPES
+from repro.model.attributes import Attribute
+from repro.model.environment import PervasiveEnvironment
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+from repro.pems.table_manager import ExtendedTableManager
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+dtypes = st.sampled_from(
+    [
+        DataType.STRING,
+        DataType.INTEGER,
+        DataType.REAL,
+        DataType.BOOLEAN,
+        DataType.BLOB,
+        DataType.SERVICE,
+    ]
+)
+
+
+@st.composite
+def plain_schemas(draw):
+    """Random extended relation schemas without binding patterns."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    attr_names = draw(st.lists(names, min_size=count, max_size=count, unique=True))
+    attributes = [Attribute(n, draw(dtypes)) for n in attr_names]
+    virtual = draw(st.sets(st.sampled_from(attr_names)))
+    return ExtendedRelationSchema("roundtrip", attributes, virtual)
+
+
+class TestDescribeRoundTrip:
+    @given(plain_schemas())
+    @settings(max_examples=80, deadline=None)
+    def test_describe_parses_back_compatible(self, schema):
+        text = schema.describe() + ";"
+        tables = ExtendedTableManager(PervasiveEnvironment(), VirtualClock())
+        tables.execute_ddl(text)
+        rebuilt = tables.environment.schema("roundtrip")
+        assert rebuilt.compatible(schema)
+
+    def test_paper_schemas_round_trip_with_binding_patterns(self):
+        """The Table 2 schemas, with their binding patterns."""
+        from repro.devices.scenario import cameras_schema, contacts_schema
+
+        for make in (contacts_schema, cameras_schema):
+            schema = make()
+            tables = ExtendedTableManager(PervasiveEnvironment(), VirtualClock())
+            for prototype in STANDARD_PROTOTYPES:
+                tables.environment.declare_prototype(prototype)
+            tables.execute_ddl(schema.describe() + ";")
+            rebuilt = tables.environment.schema(schema.name)
+            assert rebuilt.compatible(schema)

@@ -1,0 +1,124 @@
+"""Property-based tests on schema invariants (Definitions 2–4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.devices.scenario import cameras_schema, contacts_schema, sensors_schema
+from repro.model.attributes import Attribute
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+
+SCHEMAS = [contacts_schema, cameras_schema, sensors_schema]
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+dtypes = st.sampled_from(list(DataType))
+
+
+@st.composite
+def schemas(draw):
+    """Random extended relation schemas (no binding patterns)."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    attr_names = draw(
+        st.lists(names, min_size=count, max_size=count, unique=True)
+    )
+    attributes = [Attribute(n, draw(dtypes)) for n in attr_names]
+    virtual = draw(st.sets(st.sampled_from(attr_names)))
+    return ExtendedRelationSchema("r", attributes, virtual)
+
+
+class TestPartitionInvariant:
+    @given(schemas())
+    def test_real_and_virtual_partition_the_schema(self, schema):
+        assert schema.real_names | schema.virtual_names == schema.name_set
+        assert schema.real_names & schema.virtual_names == frozenset()
+
+    @given(schemas())
+    def test_real_positions_are_contiguous(self, schema):
+        """delta_R maps real attributes to 0..k-1 in schema order."""
+        positions = [schema.real_position(a.name) for a in schema.real_attributes]
+        assert positions == list(range(len(schema.real_attributes)))
+
+    @given(schemas(), st.data())
+    def test_projection_arithmetic(self, schema, data):
+        """t[X] picks exactly the chosen coordinates (Definition 4)."""
+        if not schema.real_attributes:
+            return
+        row = tuple(
+            _value_for(a.dtype, i) for i, a in enumerate(schema.real_attributes)
+        )
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from([a.name for a in schema.real_attributes]),
+                unique=True,
+            )
+        )
+        projected = schema.project_tuple(row, chosen)
+        for name, value in zip(chosen, projected):
+            assert value == row[schema.real_position(name)]
+
+
+def _value_for(dtype: DataType, i: int):
+    return {
+        DataType.STRING: f"s{i}",
+        DataType.INTEGER: i,
+        DataType.REAL: float(i),
+        DataType.BOOLEAN: i % 2 == 0,
+        DataType.BLOB: bytes([i % 256]),
+        DataType.SERVICE: f"svc{i}",
+        DataType.TIMESTAMP: i,
+    }[dtype]
+
+
+class TestDerivationInvariants:
+    @given(st.sampled_from(SCHEMAS), st.data())
+    def test_project_preserves_partition(self, make, data):
+        schema = make()
+        keep = data.draw(
+            st.lists(st.sampled_from(schema.names), min_size=1, unique=True)
+        )
+        derived = schema.project(keep)
+        assert derived.name_set == frozenset(keep)
+        assert derived.real_names == schema.real_names & set(keep)
+        assert derived.virtual_names == schema.virtual_names & set(keep)
+
+    @given(st.sampled_from(SCHEMAS), st.data())
+    def test_project_binding_patterns_remain_valid(self, make, data):
+        schema = make()
+        keep = data.draw(
+            st.lists(st.sampled_from(schema.names), min_size=1, unique=True)
+        )
+        derived = schema.project(keep)
+        for bp in derived.binding_patterns:
+            assert bp.service_attribute in derived.real_names
+            assert bp.input_names <= derived.name_set
+            assert bp.output_names <= derived.virtual_names
+
+    @given(st.sampled_from(SCHEMAS), st.data())
+    def test_rename_is_invertible(self, make, data):
+        schema = make()
+        old = data.draw(st.sampled_from(schema.names))
+        renamed = schema.rename(old, "zz_fresh")
+        back = renamed.rename("zz_fresh", old)
+        assert back.names == schema.names
+        assert back.virtual_names == schema.virtual_names
+
+    @given(st.sampled_from(SCHEMAS), st.data())
+    def test_realize_monotone(self, make, data):
+        schema = make()
+        if not schema.virtual_names:
+            return
+        chosen = data.draw(
+            st.lists(st.sampled_from(sorted(schema.virtual_names)), min_size=1, unique=True)
+        )
+        derived = schema.realize(chosen)
+        assert derived.real_names == schema.real_names | set(chosen)
+        for bp in derived.binding_patterns:
+            assert bp.output_names <= derived.virtual_names
+
+    @given(st.sampled_from(SCHEMAS), st.sampled_from(SCHEMAS))
+    def test_join_realness_is_or(self, make_left, make_right):
+        left, right = make_left(), make_right()
+        joined = left.join(right)
+        for name in joined.name_set:
+            in_left_real = name in left.real_names
+            in_right_real = name in right.real_names
+            assert (name in joined.real_names) == (in_left_real or in_right_real)

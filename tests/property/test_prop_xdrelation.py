@@ -1,0 +1,74 @@
+"""Property-based tests on XD-Relation journaling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.scenario import surveillance_schema
+
+rows = st.tuples(
+    st.sampled_from(["A", "B", "C", "D"]),
+    st.sampled_from(["office", "roof"]),
+    st.sampled_from([25.0, 28.0]),
+)
+
+# A random write script: per instant, rows to insert and rows to delete.
+scripts = st.lists(
+    st.tuples(st.lists(rows, max_size=3), st.lists(rows, max_size=3)),
+    max_size=12,
+)
+
+
+def replay(script):
+    xd = XDRelation(surveillance_schema())
+    for instant, (to_insert, to_delete) in enumerate(script):
+        xd.insert(to_insert, instant)
+        xd.delete(to_delete, instant)
+    return xd
+
+
+class TestJournalInvariants:
+    @given(scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_instantaneous_matches_naive_replay(self, script):
+        xd = replay(script)
+        state: set = set()
+        for instant, (to_insert, to_delete) in enumerate(script):
+            state |= set(to_insert)
+            state -= set(to_delete)
+            assert xd.instantaneous(instant).tuples == frozenset(state)
+
+    @given(scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_deltas_reconstruct_states(self, script):
+        """state(τ) = state(τ−1) ∪ inserted_at(τ) − deleted_at(τ)."""
+        xd = replay(script)
+        previous: frozenset = frozenset()
+        for instant in range(len(script)):
+            current = xd.instantaneous(instant).tuples
+            rebuilt = (previous | xd.inserted_at(instant)) - xd.deleted_at(instant)
+            assert current == rebuilt
+            previous = current
+
+    @given(scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_deltas_are_disjoint(self, script):
+        xd = replay(script)
+        for instant in range(len(script)):
+            assert not xd.inserted_at(instant) & xd.deleted_at(instant)
+
+    @given(scripts, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_window_is_union_of_insertions(self, script, period):
+        xd = replay(script)
+        for instant in range(len(script)):
+            expected: set = set()
+            for j in range(max(0, instant - period + 1), instant + 1):
+                expected |= xd.inserted_at(j)
+            assert xd.window(instant, period) == frozenset(expected)
+
+    @given(scripts, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_window_monotone_in_period(self, script, period):
+        xd = replay(script)
+        for instant in range(len(script)):
+            assert xd.window(instant, period) <= xd.window(instant, period + 1)
