@@ -64,11 +64,45 @@ class OptimizationResult:
 
 
 class Optimizer:
-    """Cost-based plan search over the rewrite-rule space."""
+    """Cost-based plan search over the rewrite-rule space.
 
-    def __init__(self, cost_model: CostModel, plan_budget: int = 500):
+    Parameters
+    ----------
+    cost_model:
+        Scores candidate plans.
+    plan_budget:
+        Maximum number of distinct plans to explore.
+    engine:
+        What execution the scores should model.  ``None`` (default) uses
+        the one-shot cost — the right objective for :meth:`Query.evaluate`.
+        ``"incremental"`` or ``"naive"`` score plans by *steady-state tick
+        cost* under that continuous engine
+        (:meth:`~repro.algebra.cost.CostModel.tick_cost`), so plan choice
+        accounts for the physical layer: e.g. under the incremental engine
+        a selection pushed below a join shrinks the persisted hash indexes
+        and the per-tick deltas, not just a one-shot intermediate result.
+    churn:
+        Per-instant change fraction assumed by the tick-cost model (only
+        used when ``engine`` is set).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        plan_budget: int = 500,
+        engine: str | None = None,
+        churn: float | None = None,
+    ):
         self.cost_model = cost_model
         self.plan_budget = plan_budget
+        self.engine = engine
+        self.churn = churn
+
+    def _score(self, plan: Operator | Query) -> PlanCost:
+        if self.engine is None:
+            return self.cost_model.cost(plan)
+        kwargs = {} if self.churn is None else {"churn": self.churn}
+        return self.cost_model.tick_cost(plan, engine=self.engine, **kwargs)
 
     def optimize(self, query: Query) -> OptimizationResult:
         """Explore equivalent plans breadth-first; return the cheapest.
@@ -76,7 +110,7 @@ class Optimizer:
         The input plan is always a candidate, so the result is never worse
         than the input under the cost model.
         """
-        original_cost = self.cost_model.cost(query)
+        original_cost = self._score(query)
         seen: dict[Operator, PlanCost] = {}
         frontier = [query.root]
         seen[query.root] = original_cost
@@ -86,7 +120,7 @@ class Optimizer:
             for neighbor in self._neighbors(node):
                 if neighbor in seen:
                     continue
-                seen[neighbor] = self.cost_model.cost(neighbor)
+                seen[neighbor] = self._score(neighbor)
                 frontier.append(neighbor)
                 explored += 1
                 if explored >= self.plan_budget:

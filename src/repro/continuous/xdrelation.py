@@ -165,6 +165,30 @@ class XDRelation:
             tuples |= self._inserted[journaled]
         return frozenset(tuples)
 
+    def changes_between(
+        self, start: int, stop: int
+    ) -> list[tuple[int, frozenset[tuple], frozenset[tuple]]]:
+        """Journal entries at instants in ``[start, stop]``, in time order.
+
+        Each entry is ``(instant, inserted, deleted)`` with snapshot copies
+        of the per-instant delta sets.  This is the journaled-leaf fast
+        path of the incremental execution engine
+        (:mod:`repro.exec`): a scan over this relation reads the exact
+        deltas between two evaluation instants instead of diffing whole
+        materializations.  Entries are snapshots, so a caller may hold
+        them across later writes.
+        """
+        lo = bisect.bisect_left(self._instants, start)
+        hi = bisect.bisect_right(self._instants, stop)
+        return [
+            (
+                journaled,
+                frozenset(self._inserted[journaled]),
+                frozenset(self._deleted[journaled]),
+            )
+            for journaled in self._instants[lo:hi]
+        ]
+
     @property
     def last_instant(self) -> int:
         """The latest journaled instant (−1 when empty)."""

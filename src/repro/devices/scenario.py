@@ -266,6 +266,7 @@ def build_temperature_surveillance(
     photo_threshold: float = 12.0,
     messenger_failure_rate: float = 0.0,
     with_photo_messages: bool = False,
+    engine: str = "incremental",
 ) -> Scenario:
     """Assemble the full temperature surveillance environment.
 
@@ -285,8 +286,11 @@ def build_temperature_surveillance(
     ``photo-alerts``, sends each cold-area photo to the area's manager via
     ``sendPhotoMessage`` (the photo realized by ``takePhoto`` flows into
     the contacts binding pattern through the join's implicit realization).
+
+    ``engine`` selects the continuous-query execution engine (see
+    :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS()
+    pems = PEMS(engine=engine)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)
@@ -418,6 +422,7 @@ def build_rss_scenario(
     recipient: str = "Carla",
     with_queries: bool = True,
     seed: int = 0,
+    engine: str = "incremental",
 ) -> Scenario:
     """Assemble the RSS experiment: feeds → news stream → keyword query.
 
@@ -425,8 +430,11 @@ def build_rss_scenario(
     (one hour in the paper), the news items whose title contains
     ``keyword``; the ``news-alerts`` query forwards each matching headline
     once to ``recipient`` via their messenger.
+
+    ``engine`` selects the continuous-query execution engine (see
+    :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS()
+    pems = PEMS(engine=engine)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)

@@ -1,0 +1,30 @@
+"""Physical execution layer for the Serena algebra.
+
+The logical algebra (:mod:`repro.algebra`) defines *what* a plan means —
+schema derivation, rewriting, equivalence.  This package defines *how* a
+registered continuous query runs: a logical operator tree is lowered
+(:mod:`repro.exec.lowering`) into a tree of incremental executors
+(:mod:`repro.exec.executors`) that consume ``(inserted, deleted)`` delta
+sets from their children and maintain per-node state (hash indexes,
+support counts, invocation caches, window buffers), so steady-state tick
+cost is proportional to the *changes* in the environment rather than to
+relation sizes.  The :class:`~repro.exec.engine.IncrementalEngine` drives
+the executor tree instant by instant and produces the same per-tick
+:class:`~repro.algebra.query.QueryResult` as the naive re-evaluating
+engine, which is kept as a differential-testing oracle.
+"""
+
+from repro.exec.delta import EMPTY_DELTA, Delta
+from repro.exec.engine import IncrementalEngine
+from repro.exec.executors import Executor
+from repro.exec.lowering import lower, lowering_summary, supported_operator
+
+__all__ = [
+    "Delta",
+    "EMPTY_DELTA",
+    "Executor",
+    "IncrementalEngine",
+    "lower",
+    "lowering_summary",
+    "supported_operator",
+]

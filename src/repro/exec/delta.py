@@ -1,0 +1,50 @@
+"""The delta contract of the physical execution layer.
+
+Every executor reports, per evaluation instant, which tuples entered and
+left its instantaneous result.  Two notions of delta coexist, and for all
+but one node they coincide:
+
+* the **change delta** — the exact difference between the node's current
+  instantaneous result and its result at the previous evaluation instant.
+  This is what parent executors consume to maintain their own state.
+
+* the **reported delta** — what the logical node's
+  :meth:`~repro.algebra.operators.base.Operator.inserted` /
+  :meth:`~repro.algebra.operators.base.Operator.deleted` methods would
+  return, which is what the window, streaming and invocation refinements
+  of Section 4.2 are defined over.  A scan of a journaled XD-Relation
+  reports the journal's deltas *at the evaluation instant exactly*, which
+  can differ from the change delta when evaluation instants skip over
+  journaled instants; every other node reports its change delta.
+
+Keeping both notions explicit is what lets the incremental engine be
+differentially identical to the naive re-evaluating engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Delta", "EMPTY_DELTA"]
+
+_EMPTY: frozenset[tuple] = frozenset()
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An ``(inserted, deleted)`` pair of disjoint tuple sets."""
+
+    inserted: frozenset[tuple] = _EMPTY
+    deleted: frozenset[tuple] = _EMPTY
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def __repr__(self) -> str:
+        return f"Delta(+{len(self.inserted)}, -{len(self.deleted)})"
+
+
+EMPTY_DELTA = Delta()

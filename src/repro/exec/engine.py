@@ -1,0 +1,72 @@
+"""The incremental engine: drives an executor tree instant by instant.
+
+One :class:`IncrementalEngine` belongs to one registered continuous query.
+It lowers the query's logical plan once, then on every tick builds the
+evaluation context (shared with any naive-evaluated fallback subtrees via
+a persistent state store), advances the executor tree, and materializes a
+:class:`~repro.algebra.query.QueryResult` — the exact same product as the
+naive re-evaluating engine, so callers (:class:`ContinuousQuery`, the
+PEMS query processor) cannot tell the engines apart except by speed.
+
+Materialization is itself incremental: the root's instantaneous relation
+is rebuilt only on ticks where the root's delta is non-empty; unchanged
+ticks return the cached X-Relation in O(1).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.query import Query, QueryResult
+from repro.exec.delta import Delta
+from repro.exec.executors import Executor
+from repro.exec.lowering import lower
+from repro.model.environment import PervasiveEnvironment
+from repro.model.relation import XRelation
+
+__all__ = ["IncrementalEngine"]
+
+
+class IncrementalEngine:
+    """Delta-driven execution of one continuous query."""
+
+    def __init__(self, query: Query, environment: PervasiveEnvironment):
+        self.query = query
+        self.environment = environment
+        #: The physical plan (one executor per logical node, shared nodes
+        #: lowered once).
+        self.root: Executor = lower(query.root)
+        # Persistent per-node state for naive-evaluated fallback subtrees
+        # (FallbackExec) — the physical counterpart of ContinuousQuery's
+        # state store.
+        self._states: dict[int, dict] = {}
+        self._relation: XRelation | None = None
+
+    def tick(self, instant: int) -> QueryResult:
+        """Advance every executor to ``instant`` and materialize the
+        result.  Instants must be non-decreasing; re-ticking the current
+        instant is an idempotent no-op (memoized in the executors)."""
+        ctx = EvaluationContext(
+            self.environment, instant, self._states, continuous=True
+        )
+        change = self.root.tick(ctx)
+        if change or self._relation is None:
+            self._relation = XRelation(
+                self.query.schema, frozenset(self.root.current), validated=True
+            )
+        return QueryResult(self._relation, ctx.action_set, instant)
+
+    @property
+    def reported(self) -> Delta:
+        """The root's reported delta at the last ticked instant — what the
+        naive engine's ``inserted()``/``deleted()`` would return, used for
+        stream emission."""
+        return self.root.reported
+
+    @property
+    def change(self) -> Delta:
+        """The root's change delta at the last ticked instant."""
+        return self.root.change
+
+    def executors(self) -> list[Executor]:
+        """All executors of the physical plan (debugging/inspection)."""
+        return list(self.root.walk())

@@ -1,0 +1,854 @@
+"""Incremental physical executors for the Serena algebra.
+
+One executor class per logical operator.  An executor owns the mutable
+per-node state the naive engine keeps in the evaluation context (hash
+indexes, support counts, invocation caches, window buffers) plus its
+current instantaneous result, and advances one evaluation instant at a
+time:
+
+* :meth:`Executor.tick` pulls the children's deltas, updates local state
+  in time proportional to the *size of the deltas* (plus, for the
+  invocation operator, the number of in-flight asynchronous requests),
+  and publishes the node's own change and reported deltas (see
+  :mod:`repro.exec.delta` for the distinction);
+* :attr:`Executor.current` is the maintained instantaneous result — the
+  engine materializes an X-Relation from the root's ``current`` only when
+  its delta is non-empty.
+
+State lifecycle: state is created lazily on the first tick, updated by
+deltas on every subsequent tick, and lives exactly as long as the
+executor (i.e. as long as the continuous query is registered).  Executors
+are built from a logical plan by :mod:`repro.exec.lowering` and are not
+shared between queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algebra.actions import Action
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators.base import Operator
+from repro.algebra.operators.extensions import Aggregate
+from repro.algebra.operators.invocation import Invocation
+from repro.algebra.operators.join import NaturalJoin
+from repro.algebra.operators.scan import BaseRelation, Scan
+from repro.algebra.operators.stream_invocation import StreamingInvocation
+from repro.algebra.operators.streaming import Streaming, StreamType
+from repro.algebra.operators.window import Window
+from repro.errors import InvalidOperatorError, SerenaError, ServiceError
+from repro.exec.delta import EMPTY_DELTA, Delta
+from repro.model.relation import XRelation
+
+__all__ = [
+    "Executor",
+    "ScanExec",
+    "BaseRelationExec",
+    "SelectionExec",
+    "ProjectionExec",
+    "RenamingExec",
+    "AssignmentExec",
+    "JoinExec",
+    "UnionExec",
+    "IntersectionExec",
+    "DifferenceExec",
+    "AggregateExec",
+    "InvocationExec",
+    "StreamingInvocationExec",
+    "StreamingExec",
+    "WindowExec",
+    "FallbackExec",
+]
+
+_EMPTY: frozenset[tuple] = frozenset()
+
+
+class Executor:
+    """Base class: per-instant advancement with memoization.
+
+    Subclasses implement :meth:`_advance`, returning the ``(change,
+    reported)`` delta pair for the new instant (``reported=None`` means
+    "same as change", the common case).  The base class applies the
+    change delta to :attr:`current` and memoizes per instant, so a node
+    shared between plan branches advances exactly once per instant — the
+    physical counterpart of the logical evaluation memo.
+    """
+
+    def __init__(self, node: Operator, children: Sequence["Executor"] = ()):
+        self.node = node
+        self.children = tuple(children)
+        #: The maintained instantaneous result (tuples over node.schema).
+        self.current: set[tuple] = set()
+        self._instant: int | None = None
+        self._change: Delta = EMPTY_DELTA
+        self._reported: Delta = EMPTY_DELTA
+
+    # -- the tick protocol -----------------------------------------------------
+
+    def tick(self, ctx: EvaluationContext) -> Delta:
+        """Advance to ``ctx.instant``; returns the change delta."""
+        if self._instant == ctx.instant:
+            return self._change
+        if self._instant is not None and ctx.instant < self._instant:
+            raise SerenaError(
+                f"executor {type(self).__name__}: evaluation instants must "
+                f"be non-decreasing (got {ctx.instant} after {self._instant})"
+            )
+        pair = self._advance(ctx)
+        change, reported = pair if isinstance(pair, tuple) else (pair, None)
+        assert not (change.inserted & self.current), "insert of present tuple"
+        assert change.deleted <= self.current, "delete of absent tuple"
+        self.current |= change.inserted
+        self.current -= change.deleted
+        self._instant = ctx.instant
+        self._change = change
+        self._reported = change if reported is None else reported
+        return change
+
+    @property
+    def change(self) -> Delta:
+        """The change delta of the last tick."""
+        return self._change
+
+    @property
+    def reported(self) -> Delta:
+        """The reported delta of the last tick (Section 4.2 semantics)."""
+        return self._reported
+
+    @property
+    def is_first_tick(self) -> bool:
+        return self._instant is None
+
+    def _advance(self, ctx: EvaluationContext):
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _net(
+        self, touched: set[tuple], present: Callable[[tuple], bool]
+    ) -> Delta:
+        """Turn a set of possibly-affected tuples into a membership delta
+        against :attr:`current` (cancels same-instant insert+delete)."""
+        inserted, deleted = [], []
+        for t in touched:
+            if present(t):
+                if t not in self.current:
+                    inserted.append(t)
+            elif t in self.current:
+                deleted.append(t)
+        return Delta(frozenset(inserted), frozenset(deleted))
+
+    def walk(self):
+        """All executors of the subtree, depth-first, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self.node.symbol()}>"
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class ScanExec(Executor):
+    """Leaf over a named relation of the environment.
+
+    Three regimes, chosen per tick from the stored relation object:
+
+    * **journaled** (an :class:`~repro.continuous.xdrelation.XDRelation`):
+      the change delta is read from the journal between the previous and
+      the current evaluation instant — exact and O(changes); the reported
+      delta is the journal's delta *at* the evaluation instant, matching
+      the logical Scan's Section 4.2 refinement.
+    * **static** (a plain X-Relation): the delta is empty while the
+      stored object is unchanged — O(1) per tick.
+    * **dynamic but unjournaled** (any other object with
+      ``instantaneous``): falls back to diffing consecutive
+      materializations, exactly like the naive engine.
+    """
+
+    def __init__(self, node: Scan):
+        super().__init__(node)
+        self._stored: object | None = None
+        # Journal high-water mark: entries at instants >= _consumed may
+        # still change (same-instant writes) or appear; everything below
+        # has been applied to `current`.
+        self._consumed: int | None = None
+
+    def _advance(self, ctx: EvaluationContext):
+        node = self.node
+        stored = ctx.environment.relation(node.name)
+        if not stored.schema.compatible(node.schema):  # type: ignore[attr-defined]
+            raise InvalidOperatorError(
+                f"relation {node.name!r} changed schema since the plan was built"
+            )
+        journaled = hasattr(stored, "changes_between") and hasattr(
+            stored, "inserted_at"
+        )
+        rebase = self.is_first_tick or stored is not self._stored
+        if not rebase and isinstance(stored, XRelation):
+            return EMPTY_DELTA  # static relation, same object: nothing moved
+        if rebase or not journaled:
+            new = ctx.environment.instantaneous(node.name, ctx.instant).tuples
+            change = Delta(
+                frozenset(new - self.current), frozenset(self.current - new)
+            )
+        else:
+            change = self._apply_journal(stored, ctx.instant)
+        self._stored = stored
+        if journaled:
+            last = stored.last_instant  # type: ignore[attr-defined]
+            self._consumed = last if last <= ctx.instant else ctx.instant + 1
+            reported = Delta(
+                stored.inserted_at(ctx.instant),  # type: ignore[attr-defined]
+                stored.deleted_at(ctx.instant),  # type: ignore[attr-defined]
+            )
+            return change, reported
+        return change
+
+    def _apply_journal(self, stored: object, instant: int) -> Delta:
+        """Net membership change from the journal since the last tick.
+
+        The journal is re-read from the consumed high-water mark, so
+        late same-instant writes are picked up; application is
+        idempotent against `current`, so re-read entries are harmless.
+        """
+        added: set[tuple] = set()
+        removed: set[tuple] = set()
+        start = self._consumed if self._consumed is not None else 0
+        for _, inserted, deleted in stored.changes_between(start, instant):  # type: ignore[attr-defined]
+            for t in inserted:
+                if t in removed:
+                    removed.discard(t)
+                elif t not in self.current:
+                    added.add(t)
+            for t in deleted:
+                if t in added:
+                    added.discard(t)
+                elif t in self.current:
+                    removed.add(t)
+        if not added and not removed:
+            return EMPTY_DELTA
+        return Delta(frozenset(added), frozenset(removed))
+
+
+class BaseRelationExec(Executor):
+    """Leaf over a literal X-Relation: all tuples arrive on the first tick."""
+
+    def __init__(self, node: BaseRelation):
+        super().__init__(node)
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        if self.is_first_tick:
+            return Delta(self.node.relation.tuples, _EMPTY)  # type: ignore[attr-defined]
+        return EMPTY_DELTA
+
+
+# ---------------------------------------------------------------------------
+# Tuple-at-a-time operators: selection, projection, renaming, assignment
+# ---------------------------------------------------------------------------
+
+
+class SelectionExec(Executor):
+    """σ: evaluate the formula only on changed tuples."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        schema = node.children[0].schema
+        self._positions = {
+            name: schema.real_position(name)
+            for name in sorted(node.formula.attributes())
+        }
+        self._formula = node.formula
+
+    def _passes(self, t: tuple) -> bool:
+        row = {name: t[p] for name, p in self._positions.items()}
+        return self._formula.evaluate(row)
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        delta = self.children[0].tick(ctx)
+        if not delta:
+            return EMPTY_DELTA
+        return Delta(
+            frozenset(t for t in delta.inserted if self._passes(t)),
+            frozenset(t for t in delta.deleted if t in self.current),
+        )
+
+
+class ProjectionExec(Executor):
+    """π: support-counted projection — an output tuple leaves only when
+    its last supporting input tuple leaves."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        kept_real = [n for n in node.schema.names if n in node.schema.real_names]
+        self._positions = [source.real_position(n) for n in kept_real]
+        self._counts: dict[tuple, int] = {}
+
+    def _project(self, t: tuple) -> tuple:
+        return tuple(t[p] for p in self._positions)
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        delta = self.children[0].tick(ctx)
+        if not delta:
+            return EMPTY_DELTA
+        touched: set[tuple] = set()
+        counts = self._counts
+        for t in delta.deleted:
+            p = self._project(t)
+            remaining = counts[p] - 1
+            if remaining:
+                counts[p] = remaining
+            else:
+                del counts[p]
+            touched.add(p)
+        for t in delta.inserted:
+            p = self._project(t)
+            counts[p] = counts.get(p, 0) + 1
+            touched.add(p)
+        return self._net(touched, lambda p: p in counts)
+
+
+class RenamingExec(Executor):
+    """ρ: tuple layouts coincide — deltas pass through unchanged."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        return self.children[0].tick(ctx)
+
+
+class AssignmentExec(Executor):
+    """α: injective per-tuple transform — deltas map through it."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        self._target = node.schema.real_position(node.attribute)
+        if node.from_attribute:
+            self._value_position = source.real_position(node.value)
+            self._constant = None
+        else:
+            self._value_position = None
+            self._constant = node.value
+
+    def _transform(self, t: tuple) -> tuple:
+        value = (
+            t[self._value_position]
+            if self._value_position is not None
+            else self._constant
+        )
+        return t[: self._target] + (value,) + t[self._target :]
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        delta = self.children[0].tick(ctx)
+        if not delta:
+            return EMPTY_DELTA
+        return Delta(
+            frozenset(self._transform(t) for t in delta.inserted),
+            frozenset(self._transform(t) for t in delta.deleted),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Natural join: delta-aware symmetric hash join with persisted build sides
+# ---------------------------------------------------------------------------
+
+
+class JoinExec(Executor):
+    """⋈: both operands are persisted as hash indexes on the join key;
+    each tick probes only the changed tuples against the other side."""
+
+    def __init__(self, node: NaturalJoin, left: Executor, right: Executor):
+        super().__init__(node, (left, right))
+        lschema = node.children[0].schema
+        rschema = node.children[1].schema
+        keys = node.predicate_names
+        self._lkey = [lschema.real_position(n) for n in keys]
+        self._rkey = [rschema.real_position(n) for n in keys]
+        out_sources: list[tuple[bool, int]] = []
+        for attribute in node.schema.real_attributes:
+            if attribute.name in lschema.real_names:
+                out_sources.append((True, lschema.real_position(attribute.name)))
+            else:
+                out_sources.append((False, rschema.real_position(attribute.name)))
+        self._out_sources = out_sources
+        self._lindex: dict[tuple, set[tuple]] = {}
+        self._rindex: dict[tuple, set[tuple]] = {}
+        self._counts: dict[tuple, int] = {}
+
+    def _combine(self, lt: tuple, rt: tuple) -> tuple:
+        return tuple(
+            lt[p] if from_left else rt[p] for from_left, p in self._out_sources
+        )
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        left, right = self.children
+        ld = left.tick(ctx)
+        rd = right.tick(ctx)
+        if not ld and not rd:
+            return EMPTY_DELTA
+        touched: set[tuple] = set()
+        counts = self._counts
+
+        def adjust(out: tuple, by: int) -> None:
+            value = counts.get(out, 0) + by
+            if value:
+                counts[out] = value
+            else:
+                counts.pop(out, None)
+            touched.add(out)
+
+        # Deletions first (against the other side's pre-insertion index),
+        # then insertions (new-new pairs counted exactly once in step 4).
+        for lt in ld.deleted:
+            key = tuple(lt[p] for p in self._lkey)
+            bucket = self._lindex.get(key)
+            if bucket is not None:
+                bucket.discard(lt)
+                if not bucket:
+                    del self._lindex[key]
+            for rt in self._rindex.get(key, ()):
+                adjust(self._combine(lt, rt), -1)
+        for rt in rd.deleted:
+            key = tuple(rt[p] for p in self._rkey)
+            bucket = self._rindex.get(key)
+            if bucket is not None:
+                bucket.discard(rt)
+                if not bucket:
+                    del self._rindex[key]
+            for lt in self._lindex.get(key, ()):
+                adjust(self._combine(lt, rt), -1)
+        for lt in ld.inserted:
+            key = tuple(lt[p] for p in self._lkey)
+            self._lindex.setdefault(key, set()).add(lt)
+            for rt in self._rindex.get(key, ()):
+                adjust(self._combine(lt, rt), +1)
+        for rt in rd.inserted:
+            key = tuple(rt[p] for p in self._rkey)
+            self._rindex.setdefault(key, set()).add(rt)
+            for lt in self._lindex.get(key, ()):
+                adjust(self._combine(lt, rt), +1)
+        return self._net(touched, lambda out: out in counts)
+
+
+# ---------------------------------------------------------------------------
+# Set operators
+# ---------------------------------------------------------------------------
+
+
+class _SetOpExec(Executor):
+    """Union/intersection/difference via membership in the children's
+    maintained current sets — O(changes) per tick."""
+
+    def __init__(self, node, left: Executor, right: Executor):
+        super().__init__(node, (left, right))
+
+    def _present(self, t: tuple) -> bool:
+        raise NotImplementedError
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        left, right = self.children
+        ld = left.tick(ctx)
+        rd = right.tick(ctx)
+        if not ld and not rd:
+            return EMPTY_DELTA
+        touched = set().union(ld.inserted, ld.deleted, rd.inserted, rd.deleted)
+        return self._net(touched, self._present)
+
+
+class UnionExec(_SetOpExec):
+    def _present(self, t: tuple) -> bool:
+        left, right = self.children
+        return t in left.current or t in right.current
+
+
+class IntersectionExec(_SetOpExec):
+    def _present(self, t: tuple) -> bool:
+        left, right = self.children
+        return t in left.current and t in right.current
+
+
+class DifferenceExec(_SetOpExec):
+    def _present(self, t: tuple) -> bool:
+        left, right = self.children
+        return t in left.current and t not in right.current
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class AggregateExec(Executor):
+    """γ: group membership is maintained incrementally; only groups with
+    changed members recompute their aggregate row."""
+
+    def __init__(self, node: Aggregate, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        self._key_positions = [source.real_position(n) for n in node.group_by]
+        self._value_positions = [
+            source.real_position(spec.attribute) if spec.attribute is not None else None
+            for spec in node.aggregates
+        ]
+        self._groups: dict[tuple, set[tuple]] = {}
+        self._rows: dict[tuple, tuple] = {}
+
+    def _row(self, key: tuple, members: set[tuple]) -> tuple:
+        node = self.node
+        ordered = sorted(members)  # deterministic float accumulation order
+        row = list(key)
+        for spec, position in zip(node.aggregates, self._value_positions):
+            values = (
+                [m[position] for m in ordered] if position is not None else ordered
+            )
+            row.append(spec.compute(values))
+        return tuple(row)
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        delta = self.children[0].tick(ctx)
+        if not delta:
+            return EMPTY_DELTA
+        affected: set[tuple] = set()
+        for t in delta.deleted:
+            key = tuple(t[p] for p in self._key_positions)
+            members = self._groups.get(key)
+            if members is not None:
+                members.discard(t)
+                if not members:
+                    del self._groups[key]
+            affected.add(key)
+        for t in delta.inserted:
+            key = tuple(t[p] for p in self._key_positions)
+            self._groups.setdefault(key, set()).add(t)
+            affected.add(key)
+        inserted, deleted = [], []
+        for key in affected:
+            old = self._rows.get(key)
+            members = self._groups.get(key)
+            new = self._row(key, members) if members else None
+            if old == new:
+                continue
+            if old is not None:
+                deleted.append(old)
+            if new is not None:
+                inserted.append(new)
+                self._rows[key] = new
+            else:
+                del self._rows[key]
+        return Delta(frozenset(inserted), frozenset(deleted))
+
+
+# ---------------------------------------------------------------------------
+# Invocation (β) — the Section 4.2 refinement, delta-driven
+# ---------------------------------------------------------------------------
+
+
+class InvocationExec(Executor):
+    """β: a binding pattern is invoked only for newly inserted operand
+    tuples; results persist in a per-tuple cache until the tuple leaves.
+
+    Per-tick cost is O(child delta + in-flight/pending tuples): tuples
+    whose asynchronous response has not landed yet, and tuples whose
+    synchronous invocation failed under ``on_error="skip"`` (the naive
+    engine retries those every instant while they stay present — pinned
+    behaviour, see tests).
+    """
+
+    def __init__(self, node: Invocation, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        bp = node.binding_pattern
+        prototype = bp.prototype
+        self._service_position = source.real_position(bp.service_attribute)
+        self._input_names = prototype.input_schema.names
+        self._input_positions = [
+            source.real_position(n) for n in self._input_names
+        ]
+        output_index = {n: i for i, n in enumerate(prototype.output_schema.names)}
+        out_sources: list[tuple[bool, int]] = []
+        for attribute in node.schema.real_attributes:
+            if attribute.name in output_index:
+                out_sources.append((False, output_index[attribute.name]))
+            else:
+                out_sources.append((True, source.real_position(attribute.name)))
+        self._out_sources = out_sources
+        #: operand tuple -> combined output rows (invocation succeeded).
+        self._cache: dict[tuple, frozenset[tuple]] = {}
+        #: present operand tuples without a cached result yet.
+        self._pending: set[tuple] = set()
+        #: async mode: operand tuple -> instant its response lands.
+        self._due: dict[tuple, int] = {}
+        #: rows invoked but not yet published (mid-tick failure recovery).
+        self._unflushed: set[tuple] = set()
+
+    def _rows(self, t: tuple, outputs: list[tuple]) -> frozenset[tuple]:
+        return frozenset(
+            tuple(t[p] if from_child else o[p] for from_child, p in self._out_sources)
+            for o in outputs
+        )
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        node = self.node
+        delta = self.children[0].tick(ctx)
+        # Rows cached by a partial advance that raised never reached
+        # `current`; publish them now that this advance completes.
+        inserted: set[tuple] = set(self._unflushed)
+        deleted: set[tuple] = set()
+        for t in delta.deleted:
+            rows = self._cache.pop(t, None)
+            if rows:
+                self._unflushed -= rows
+                inserted -= rows
+                deleted.update(r for r in rows if r in self.current)
+            self._pending.discard(t)
+            self._due.pop(t, None)  # in-flight request dropped with its tuple
+        # Exclude cached tuples: a partial advance that raised may be
+        # re-run against the same memoized child delta.
+        self._pending.update(
+            t for t in delta.inserted if t not in self._cache
+        )
+
+        if self._pending:
+            bp = node.binding_pattern
+            asynchronous = node.delay > 0 and ctx.continuous
+            for t in sorted(self._pending):
+                if asynchronous:
+                    ready_at = self._due.setdefault(t, ctx.instant + node.delay)
+                    if ctx.instant < ready_at:
+                        continue  # response still in flight
+                reference = t[self._service_position]
+                inputs = {
+                    n: t[p]
+                    for n, p in zip(self._input_names, self._input_positions)
+                }
+                try:
+                    results = ctx.environment.registry.invoke(
+                        bp.prototype, reference, inputs, ctx.instant
+                    )
+                except ServiceError:
+                    if node.on_error == "skip":
+                        # Dropped request: the tuple stays pending (sync:
+                        # retried next instant; async: re-scheduled with
+                        # the full delay — naive-engine parity).
+                        self._due.pop(t, None)
+                        continue
+                    raise
+                rows = self._rows(t, results)
+                self._cache[t] = rows
+                self._pending.discard(t)
+                self._due.pop(t, None)
+                self._unflushed |= rows
+                if bp.active:
+                    input_tuple = tuple(t[p] for p in self._input_positions)
+                    ctx.record_action(Action(bp, reference, input_tuple))
+                inserted |= rows
+        self._unflushed.clear()
+        return Delta(frozenset(inserted), frozenset(deleted))
+
+
+class StreamingInvocationExec(Executor):
+    """β∞: by definition every operand tuple is invoked at every instant,
+    so per-tick cost is O(|operand|) — the operator models services as
+    per-instant data sources (Section 7)."""
+
+    def __init__(self, node: StreamingInvocation, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        bp = node.binding_pattern
+        prototype = bp.prototype
+        self._service_position = source.real_position(bp.service_attribute)
+        self._input_names = prototype.input_schema.names
+        self._input_positions = [
+            source.real_position(n) for n in self._input_names
+        ]
+        output_index = {n: i for i, n in enumerate(prototype.output_schema.names)}
+        sources: list[tuple[str, int]] = []
+        for attribute in node.schema.real_attributes:
+            if attribute.name in output_index:
+                sources.append(("invocation", output_index[attribute.name]))
+            elif attribute.name == node.timestamp_attribute:
+                sources.append(("timestamp", 0))
+            else:
+                sources.append(("child", source.real_position(attribute.name)))
+        self._out_sources = sources
+
+    def _advance(self, ctx: EvaluationContext):
+        node = self.node
+        (child,) = self.children
+        child.tick(ctx)
+        bp = node.binding_pattern
+        emitted: set[tuple] = set()
+        for t in child.current:
+            reference = t[self._service_position]
+            inputs = {
+                n: t[p]
+                for n, p in zip(self._input_names, self._input_positions)
+            }
+            try:
+                results = ctx.environment.registry.invoke(
+                    bp.prototype, reference, inputs, ctx.instant
+                )
+            except ServiceError:
+                if node.on_error == "skip":
+                    continue
+                raise
+            for output in results:
+                row = []
+                for kind, position in self._out_sources:
+                    if kind == "child":
+                        row.append(t[position])
+                    elif kind == "invocation":
+                        row.append(output[position])
+                    else:
+                        row.append(ctx.instant)
+                emitted.add(tuple(row))
+        change = Delta(
+            frozenset(emitted - self.current), frozenset(self.current - emitted)
+        )
+        return change, Delta(frozenset(emitted), _EMPTY)
+
+
+# ---------------------------------------------------------------------------
+# Continuous operators: streaming and window
+# ---------------------------------------------------------------------------
+
+
+class StreamingExec(Executor):
+    """S[type]: re-emits the child's reported delta (or full state for
+    heartbeat); every emission is an insertion of the output stream."""
+
+    def __init__(self, node: Streaming, child: Executor):
+        super().__init__(node, (child,))
+
+    def _advance(self, ctx: EvaluationContext):
+        node = self.node
+        (child,) = self.children
+        child.tick(ctx)
+        if node.kind is StreamType.INSERTION:
+            emitted = child.reported.inserted
+        elif node.kind is StreamType.DELETION:
+            emitted = child.reported.deleted
+        else:  # heartbeat: all tuples present at this instant
+            emitted = frozenset(child.current)
+        change = Delta(
+            frozenset(emitted - self.current), frozenset(self.current - emitted)
+        )
+        return change, Delta(emitted, _EMPTY)
+
+
+class WindowExec(Executor):
+    """W[period]: support-counted buffer of the last ``period`` instants.
+
+    Over a journaled XD-Relation scan the buffer is fed from the journal
+    itself (the contents are then exact regardless of when the query was
+    registered); over a derived stream it buffers the child's reported
+    insertions per evaluation instant, exactly like the naive engine.
+    """
+
+    def __init__(self, node: Window, child: Executor):
+        super().__init__(node, (child,))
+        self.period = node.period
+        self._buckets: dict[int, frozenset[tuple]] = {}
+        self._counts: dict[tuple, int] = {}
+        self._journal_mode: bool | None = None
+        self._consumed: int | None = None
+
+    def _advance(self, ctx: EvaluationContext) -> Delta:
+        (child,) = self.children
+        child.tick(ctx)
+        if self._journal_mode is None:
+            self._journal_mode = self._detect_journal(ctx)
+        touched: set[tuple] = set()
+        horizon = ctx.instant - self.period  # keep instants > horizon
+        if self._journal_mode:
+            self._feed_from_journal(ctx, horizon, touched)
+        else:
+            self._feed_bucket(ctx.instant, child.reported.inserted, touched)
+        for instant in [
+            i for i in self._buckets if i <= horizon or i > ctx.instant
+        ]:
+            for t in self._buckets.pop(instant):
+                self._discount(t, touched)
+        return self._net(touched, lambda t: t in self._counts)
+
+    # -- feeding ---------------------------------------------------------------
+
+    def _detect_journal(self, ctx: EvaluationContext) -> bool:
+        scan_node = self.node.children[0]
+        if not isinstance(scan_node, Scan):
+            return False
+        stored = ctx.environment.relation(scan_node.name)
+        return hasattr(stored, "changes_between") and hasattr(stored, "window")
+
+    def _feed_from_journal(
+        self, ctx: EvaluationContext, horizon: int, touched: set[tuple]
+    ) -> None:
+        scan_node = self.node.children[0]
+        stored = ctx.environment.relation(scan_node.name)
+        start = horizon + 1
+        if self._consumed is not None:
+            start = max(start, self._consumed)
+        for instant, inserted, _ in stored.changes_between(start, ctx.instant):  # type: ignore[attr-defined]
+            self._feed_bucket(instant, inserted, touched)
+        last = stored.last_instant  # type: ignore[attr-defined]
+        self._consumed = last if last <= ctx.instant else ctx.instant + 1
+
+    def _feed_bucket(
+        self, instant: int, inserted: frozenset[tuple], touched: set[tuple]
+    ) -> None:
+        old = self._buckets.get(instant, _EMPTY)
+        if inserted == old:
+            if inserted:
+                self._buckets[instant] = inserted
+            return
+        for t in inserted - old:
+            self._counts[t] = self._counts.get(t, 0) + 1
+            touched.add(t)
+        for t in old - inserted:
+            self._discount(t, touched)
+        if inserted:
+            self._buckets[instant] = inserted
+        else:
+            self._buckets.pop(instant, None)
+
+    def _discount(self, t: tuple, touched: set[tuple]) -> None:
+        remaining = self._counts[t] - 1
+        if remaining:
+            self._counts[t] = remaining
+        else:
+            del self._counts[t]
+        touched.add(t)
+
+
+# ---------------------------------------------------------------------------
+# Fallback: naive materialization of an unlowered subtree
+# ---------------------------------------------------------------------------
+
+
+class FallbackExec(Executor):
+    """Wraps a logical subtree the lowering pass has no incremental
+    executor for: evaluates it naively each tick (using the engine's
+    persistent state store) and diffs consecutive materializations.
+
+    This makes lowering total — new logical operators run unmodified on
+    the incremental engine, at naive per-tick cost for that subtree —
+    and is also the differential-testing bridge."""
+
+    def __init__(self, node: Operator):
+        super().__init__(node)
+
+    def _advance(self, ctx: EvaluationContext):
+        node = self.node
+        new = node.evaluate(ctx).tuples
+        change = Delta(
+            frozenset(new - self.current), frozenset(self.current - new)
+        )
+        reported = Delta(node.inserted(ctx), node.deleted(ctx))
+        return change, reported

@@ -34,9 +34,14 @@ StreamSource = Callable[[int], None]
 
 
 class PEMS:
-    """A Pervasive Environment Management System instance."""
+    """A Pervasive Environment Management System instance.
 
-    def __init__(self):
+    ``engine`` selects the execution engine for continuous queries
+    registered through the query processor — ``"incremental"`` (default)
+    or ``"naive"`` (see :mod:`repro.continuous.continuous_query`).
+    """
+
+    def __init__(self, engine: str = "incremental"):
         self.clock = VirtualClock()
         self.bus = DiscoveryBus()
         self.environment = PervasiveEnvironment()
@@ -48,7 +53,7 @@ class PEMS:
         self.clock.on_tick(self._run_sources)
         self.tables = ExtendedTableManager(self.environment, self.clock)
         self.queries = QueryProcessor(
-            self.environment, self.clock, self.erm, self.tables
+            self.environment, self.clock, self.erm, self.tables, engine=engine
         )
         self._local_erms: dict[str, LocalEnvironmentResourceManager] = {}
 

@@ -11,6 +11,7 @@ sensors join "without the need to stop the continuous query execution".
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -59,8 +60,24 @@ class DiscoveryQuery:
         return row
 
 
+#: How many evaluation failures the query processor retains (see
+#: :attr:`QueryProcessor.failures`).
+FAILURE_LOG_SIZE = 256
+
+
 class QueryProcessor:
-    """Registers and drives one-shot, continuous and discovery queries."""
+    """Registers and drives one-shot, continuous and discovery queries.
+
+    Parameters
+    ----------
+    environment, clock, erm, tables:
+        The PEMS components the processor is wired to (Figure 1).
+    engine:
+        Execution engine for registered continuous queries:
+        ``"incremental"`` (default, the delta-driven physical engine of
+        :mod:`repro.exec`) or ``"naive"`` (full re-evaluation each tick,
+        the differential-testing oracle).
+    """
 
     def __init__(
         self,
@@ -68,15 +85,17 @@ class QueryProcessor:
         clock: VirtualClock,
         erm: EnvironmentResourceManager,
         tables: ExtendedTableManager,
+        engine: str = "incremental",
     ):
         self.environment = environment
         self.clock = clock
         self.erm = erm
         self.tables = tables
+        self.engine = engine
         self._continuous: dict[str, ContinuousQuery] = {}
         self._discovery: list[DiscoveryQuery] = []
         self._rows_by_service: dict[tuple[str, str], tuple] = {}
-        self._failures: list[QueryFailure] = []
+        self._failures: deque[QueryFailure] = deque(maxlen=FAILURE_LOG_SIZE)
         clock.on_tick(self._on_tick)
 
     @property
@@ -86,8 +105,18 @@ class QueryProcessor:
         A failing query never stops the other queries or the clock: the
         failure is logged here and evaluation of that query resumes at the
         next instant (a pervasive system must outlive one bad sensor).
+
+        Retention policy: only the most recent :data:`FAILURE_LOG_SIZE`
+        failures are kept — a long-running PEMS with one flaky service
+        would otherwise grow the log without bound.  Older entries are
+        dropped silently; call :meth:`clear_failures` after handling a
+        batch.
         """
         return list(self._failures)
+
+    def clear_failures(self) -> None:
+        """Discard all retained evaluation failures."""
+        self._failures.clear()
 
     # -- one-shot queries ----------------------------------------------------------
 
@@ -102,25 +131,41 @@ class QueryProcessor:
         return self.execute(compile_sql(text, self.environment))
 
     def register_continuous_sql(
-        self, text: str, name: str | None = None, keep_history: bool = False
+        self,
+        text: str,
+        name: str | None = None,
+        keep_history: bool = False,
+        engine: str | None = None,
     ) -> ContinuousQuery:
         """Compile a Serena SQL query and register it as continuous."""
         from repro.lang.sql import compile_sql
 
         return self.register_continuous(
-            compile_sql(text, self.environment, name), name, keep_history
+            compile_sql(text, self.environment, name), name, keep_history, engine
         )
 
     # -- continuous queries ----------------------------------------------------------
 
     def register_continuous(
-        self, query: Query, name: str | None = None, keep_history: bool = False
+        self,
+        query: Query,
+        name: str | None = None,
+        keep_history: bool = False,
+        engine: str | None = None,
     ) -> ContinuousQuery:
-        """Register a continuous query, evaluated at every tick from now on."""
+        """Register a continuous query, evaluated at every tick from now on.
+
+        ``engine`` overrides the processor-wide engine for this query.
+        """
         key = name or query.name or f"query-{len(self._continuous) + 1}"
         if key in self._continuous:
             raise SerenaError(f"continuous query {key!r} already registered")
-        continuous = ContinuousQuery(query, self.environment, keep_history)
+        continuous = ContinuousQuery(
+            query,
+            self.environment,
+            keep_history,
+            engine=engine if engine is not None else self.engine,
+        )
         self._continuous[key] = continuous
         return continuous
 

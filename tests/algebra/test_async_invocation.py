@@ -119,3 +119,58 @@ class TestContinuousAsynchrony:
         cq.evaluate_at(3)  # cached
         cq.evaluate_at(4)
         assert registry.invocation_count == 3
+
+
+class TestAsynchronousSkip:
+    """``on_error='skip'`` with ``delay > 0``: a failed due invocation is
+    rescheduled with the *full* delay, not retried every instant."""
+
+    RECOVERY_INSTANT = 9
+
+    def flaky_gateway(self, env):
+        """A sendMessage service that fails until :attr:`RECOVERY_INSTANT`,
+        recording the instant of every attempt."""
+        from repro.devices.prototypes import SEND_MESSAGE
+        from repro.model.services import Service
+
+        attempts = []
+
+        def send_message(inputs, instant):
+            attempts.append(instant)
+            if instant < self.RECOVERY_INSTANT:
+                raise RuntimeError("gateway down")
+            return [{"sent": True}]
+
+        env.register_service(
+            Service("flaky", {SEND_MESSAGE: send_message}, description="flaky")
+        )
+        return attempts
+
+    def query(self, env):
+        return (
+            scan(env, "contacts")
+            .select(col("name").eq("Zoe"))
+            .assign("text", "Hi")
+            .invoke("sendMessage", on_error="skip", delay=2)
+            .query()
+        )
+
+    @pytest.mark.parametrize("engine", ["naive", "incremental"])
+    def test_retry_waits_the_full_delay(self, dynamic_env, engine):
+        attempts = self.flaky_gateway(dynamic_env)
+        dynamic_env.relation("contacts").insert_mappings(
+            [{"name": "Zoe", "address": "zoe@x.org", "messenger": "flaky"}],
+            instant=0,
+        )
+        cq = ContinuousQuery(self.query(dynamic_env), dynamic_env, engine=engine)
+        sizes = [len(cq.evaluate_at(instant).relation) for instant in range(1, 12)]
+        # First attempt when the delay elapses (instant 3); each failure
+        # reschedules with the full delay from the *next* instant: 3 → 6 → 9.
+        assert attempts == [3, 6, 9]
+        # The tuple only materializes once an attempt succeeds...
+        assert sizes == [0] * 8 + [1, 1, 1]
+        # ...and exactly one action is recorded, at the success instant.
+        assert len(cq.action_log) == 1
+        assert cq.actions and all(
+            a.binding_pattern.prototype.name == "sendMessage" for a in cq.actions
+        )

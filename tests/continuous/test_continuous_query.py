@@ -166,6 +166,49 @@ class TestActionsAccumulation:
         assert len(cq.action_log) == 4
 
 
+class TestSameInstantIdempotency:
+    """Regression: re-evaluating the current instant must return the
+    cached result and must not repeat any bookkeeping — no duplicate
+    actions, emissions, history entries or listener notifications."""
+
+    @pytest.mark.parametrize("engine", ["naive", "incremental"])
+    def test_repeat_evaluation_is_idempotent(self, dynamic_env, engine):
+        q = (
+            scan(dynamic_env, "contacts")
+            .assign("text", "Hi")
+            .invoke("sendMessage")
+            .query()
+        )
+        cq = ContinuousQuery(q, dynamic_env, keep_history=True, engine=engine)
+        notified = []
+        cq.on_result(lambda r: notified.append(r.instant))
+        first = cq.evaluate_at(1)
+        again = cq.evaluate_at(1)
+        assert again is first
+        assert len(cq.action_log) == 3
+        assert len(cq.history) == 1
+        assert notified == [1]
+        # Moving on still works, and repeats there are idempotent too.
+        cq.evaluate_at(2)
+        cq.evaluate_at(2)
+        assert len(cq.history) == 2
+        assert notified == [1, 2]
+        assert len(cq.action_log) == 3  # nothing new to invoke
+
+    def test_repeat_evaluation_of_stream_query_emits_once(self):
+        env = PervasiveEnvironment()
+        stream = XDRelation(temperatures_schema(), infinite=True)
+        env.add_relation(stream)
+        q = (
+            scan(env, "temperatures").window(1).stream("insertion").query("s")
+        )
+        cq = ContinuousQuery(q, env)
+        stream.insert([("s1", "office", 30.0, 1)], instant=1)
+        cq.evaluate_at(1)
+        cq.evaluate_at(1)
+        assert len(cq.emitted) == 1
+
+
 class TestStreamQueries:
     def test_emitted_accumulates(self):
         env = PervasiveEnvironment()

@@ -137,3 +137,64 @@ class TestDiscoveryQueries:
         plug_sensor(pems, "sensor02")
         pems.run(1)
         assert len(cq.last_result.relation) == 2
+
+
+class TestFailureRetention:
+    """The failure log is bounded (one flaky service must not grow it
+    without limit) and clearable."""
+
+    def doomed_query(self, pems):
+        # A sensors row whose service was never registered: evaluation
+        # raises every tick (on_error defaults to 'raise').
+        pems.tables.insert("sensors", [{"sensor": "ghost", "location": "void"}])
+        query = (
+            scan(pems.environment, "sensors").invoke("getTemperature").query("doomed")
+        )
+        pems.queries.register_continuous(query)
+
+    def test_failure_log_is_capped(self, pems):
+        from repro.pems.query_processor import FAILURE_LOG_SIZE
+
+        self.doomed_query(pems)
+        overflow = 10
+        pems.run(FAILURE_LOG_SIZE + overflow)
+        failures = pems.queries.failures
+        assert len(failures) == FAILURE_LOG_SIZE
+        # Oldest entries were dropped silently; newest retained.
+        assert failures[0].instant == overflow + 1
+        assert failures[-1].instant == FAILURE_LOG_SIZE + overflow
+        assert all(f.query_name == "doomed" for f in failures)
+
+    def test_clear_failures(self, pems):
+        self.doomed_query(pems)
+        pems.run(3)
+        assert len(pems.queries.failures) == 3
+        pems.queries.clear_failures()
+        assert pems.queries.failures == []
+        pems.run(1)
+        assert len(pems.queries.failures) == 1
+
+
+class TestEngineSelection:
+    def test_per_query_engine_override(self, pems):
+        plug_sensor(pems, "sensor01")
+        default = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(), name="default-engine"
+        )
+        naive = pems.queries.register_continuous(
+            scan(pems.environment, "sensors").query(),
+            name="naive-engine",
+            engine="naive",
+        )
+        assert default.engine == "incremental"
+        assert naive.engine == "naive"
+        pems.run(2)
+        assert (
+            default.last_result.relation.tuples == naive.last_result.relation.tuples
+        )
+
+    def test_unknown_engine_rejected(self, pems):
+        with pytest.raises(SerenaError, match="unknown execution engine"):
+            pems.queries.register_continuous(
+                scan(pems.environment, "sensors").query(), engine="quantum"
+            )
