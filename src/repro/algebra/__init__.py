@@ -34,6 +34,7 @@ from repro.algebra.operators import (
 )
 from repro.algebra.optimizer import OptimizationResult, Optimizer, optimize_heuristic
 from repro.algebra.query import NodeProfile, Query, QueryProfile, QueryResult
+from repro.algebra.fingerprint import canonical_plan, plan_fingerprint
 from repro.algebra.normalize import (
     normalize,
     normalize_formula,
@@ -104,8 +105,10 @@ __all__ = [
     "collect_statistics",
     "col",
     "equivalent_on",
+    "canonical_plan",
     "normalize",
     "normalize_formula",
+    "plan_fingerprint",
     "optimize_heuristic",
     "relation",
     "rewrite_fixpoint",

@@ -13,14 +13,19 @@ the query's last operator is a streaming operator (like Q4 of Table 4),
 the per-tick relation is the stream's emission at that instant and
 :attr:`ContinuousQuery.emitted` accumulates the output stream.
 
-Two execution engines are available (the ``engine`` parameter):
+Three execution engines are available (the ``engine`` parameter):
 
 * ``"incremental"`` (default) — the plan is lowered to the delta-driven
   physical executors of :mod:`repro.exec`; steady-state tick cost is
   proportional to the environment's churn, not to relation sizes.
+* ``"shared"`` — like incremental, but the physical plan is acquired from
+  a :class:`~repro.exec.shared.SharedPlanRegistry`: structurally
+  equivalent subplans of co-registered queries run on the *same* executor
+  instances (the PEMS query processor uses this, together with its tick
+  scheduler, for multi-query workloads).
 * ``"naive"`` — the original engine: the logical plan re-evaluates its
   full instantaneous result each tick.  Kept as the differential-testing
-  oracle; both engines produce identical results, deltas, emissions and
+  oracle; all engines produce identical results, deltas, emissions and
   actions at every instant.
 """
 
@@ -32,12 +37,18 @@ from repro.algebra.actions import Action, ActionSet
 from repro.algebra.context import EvaluationContext
 from repro.algebra.query import Query, QueryResult
 from repro.errors import SerenaError
+from repro.exec.delta import EMPTY_DELTA, Delta
 from repro.exec.engine import IncrementalEngine
+from repro.exec.shared import SharedEngine, SharedPlanRegistry
 from repro.model.environment import PervasiveEnvironment
 
 __all__ = ["ContinuousQuery"]
 
-_ENGINES = ("incremental", "naive")
+_ENGINES = ("incremental", "naive", "shared")
+
+#: Shared by every carried-forward result; ActionSet is a frozenset, so
+#: one instance is safe and keeps the O(1) carry path allocation-free.
+_NO_ACTIONS = ActionSet()
 
 
 class ContinuousQuery:
@@ -49,6 +60,7 @@ class ContinuousQuery:
         environment: PervasiveEnvironment,
         keep_history: bool = False,
         engine: str = "incremental",
+        shared: SharedPlanRegistry | None = None,
     ):
         if engine not in _ENGINES:
             raise SerenaError(
@@ -58,14 +70,18 @@ class ContinuousQuery:
         self.query = query
         self.environment = environment
         self.engine = engine
-        self._engine = (
-            IncrementalEngine(query, environment)
-            if engine == "incremental"
-            else None
-        )
+        if engine == "incremental":
+            self._engine = IncrementalEngine(query, environment)
+        elif engine == "shared":
+            # Without a caller-supplied registry the query gets a private
+            # one: correct, just with nothing to share against.
+            self._engine = SharedEngine(query, environment, shared)
+        else:
+            self._engine = None
         self._states: dict[int, dict[str, Any]] = {}
         self._last_instant = -1
         self._last_result: QueryResult | None = None
+        self._carried = False
         self._all_actions: list[Action] = []
         self._emitted: list[tuple[int, tuple]] = []
         self._history: list[QueryResult] | None = [] if keep_history else None
@@ -106,6 +122,48 @@ class ContinuousQuery:
         output stream."""
         return list(self._emitted)
 
+    @property
+    def last_reported_delta(self) -> Delta:
+        """The Section 4.2 reported delta of the last evaluation — empty
+        when the last instant was carried forward."""
+        if self._last_result is None:
+            raise SerenaError(
+                f"continuous query {self.query.name!r} has not been "
+                "evaluated yet"
+            )
+        if self._carried:
+            return EMPTY_DELTA
+        if self._engine is not None:
+            return self._engine.reported
+        ctx = EvaluationContext(
+            self.environment, self._last_instant, self._states, continuous=True
+        )
+        return Delta(
+            frozenset(self.query.root.inserted(ctx)),
+            frozenset(self.query.root.deleted(ctx)),
+        )
+
+    @property
+    def sharing_summary(self) -> dict | None:
+        """For the shared engine: the plan fingerprint, shared/private
+        executor counts and leased subtrees (None on other engines)."""
+        if isinstance(self._engine, SharedEngine):
+            return self._engine.plan.summary()
+        return None
+
+    def executors(self) -> list:
+        """The executors of the physical plan ([] on the naive engine)."""
+        if self._engine is None:
+            return []
+        return self._engine.executors()
+
+    def release(self) -> None:
+        """Release engine resources (shared-subplan refcounts); idempotent.
+        Called by the query processor on deregistration."""
+        engine = self._engine
+        if engine is not None and hasattr(engine, "release"):
+            engine.release()
+
     # -- evaluation ---------------------------------------------------------------
 
     def evaluate_at(self, instant: int) -> QueryResult:
@@ -132,6 +190,7 @@ class ContinuousQuery:
             result = self.query.evaluate_in(ctx)
         self._last_instant = instant
         self._last_result = result
+        self._carried = False
         self._all_actions.extend(
             sorted(
                 result.actions,
@@ -144,6 +203,37 @@ class ContinuousQuery:
         )
         if self.query.is_stream:
             self._emitted.extend((instant, t) for t in result.relation)
+        if self._history is not None:
+            self._history.append(result)
+        for listener in list(self._listeners):
+            listener(result)
+        return result
+
+    def carry_forward(self, instant: int) -> QueryResult:
+        """Advance to ``instant`` without evaluating: reuse the previous
+        result relation with an empty delta and no actions.
+
+        Only sound when the caller (the tick scheduler) has established
+        that none of the query's sources changed and its plan has no
+        time-driven (live) executor — the evaluation would then provably
+        reproduce the cached relation.  History and listeners observe the
+        carried result exactly as if it had been evaluated; stream
+        emissions are never carried (stream queries are always live).
+        """
+        if instant < self._last_instant:
+            raise SerenaError(
+                f"continuous query {self.query.name!r}: evaluation instants "
+                f"must be non-decreasing (got {instant} after "
+                f"{self._last_instant})"
+            )
+        if instant == self._last_instant and self._last_result is not None:
+            return self._last_result
+        if self._last_result is None:
+            return self.evaluate_at(instant)  # nothing to carry yet
+        result = QueryResult(self._last_result.relation, _NO_ACTIONS, instant)
+        self._last_instant = instant
+        self._last_result = result
+        self._carried = True
         if self._history is not None:
             self._history.append(result)
         for listener in list(self._listeners):

@@ -53,6 +53,7 @@ class XDRelation:
         # journaled instant.
         self._state: set[tuple] = set()
         self._last_instant = -1
+        self._revision = 0
         initial = list(initial)
         if initial:
             self.insert(initial, instant=0)
@@ -85,6 +86,8 @@ class XDRelation:
             deleted.discard(values)
             inserted.add(values)
             count += 1
+        if count:
+            self._revision += 1
         return count
 
     def insert_mappings(
@@ -118,6 +121,8 @@ class XDRelation:
             else:
                 deleted.add(values)
             count += 1
+        if count:
+            self._revision += 1
         return count
 
     def delete_mappings(
@@ -193,6 +198,14 @@ class XDRelation:
     def last_instant(self) -> int:
         """The latest journaled instant (−1 when empty)."""
         return self._last_instant
+
+    @property
+    def revision(self) -> int:
+        """Monotone write counter: bumped by every effective insert or
+        delete batch.  The tick scheduler (:mod:`repro.exec.scheduler`)
+        compares revisions to decide in O(1) whether a relation moved
+        since a query's last evaluation."""
+        return self._revision
 
     def __len__(self) -> int:
         """Current cardinality (total inserted count for a stream)."""

@@ -12,18 +12,29 @@ relation sizes.  The :class:`~repro.exec.engine.IncrementalEngine` drives
 the executor tree instant by instant and produces the same per-tick
 :class:`~repro.algebra.query.QueryResult` as the naive re-evaluating
 engine, which is kept as a differential-testing oracle.
+
+For multi-query workloads, :mod:`repro.exec.shared` lets structurally
+equivalent subplans of different registered queries run on the same
+executor instances (refcounted), and :mod:`repro.exec.scheduler` skips
+queries whose sources provably did not change since their last tick.
 """
 
 from repro.exec.delta import EMPTY_DELTA, Delta
 from repro.exec.engine import IncrementalEngine
 from repro.exec.executors import Executor
 from repro.exec.lowering import lower, lowering_summary, supported_operator
+from repro.exec.scheduler import TickScheduler
+from repro.exec.shared import SharedEngine, SharedPlan, SharedPlanRegistry
 
 __all__ = [
     "Delta",
     "EMPTY_DELTA",
     "Executor",
     "IncrementalEngine",
+    "SharedEngine",
+    "SharedPlan",
+    "SharedPlanRegistry",
+    "TickScheduler",
     "lower",
     "lowering_summary",
     "supported_operator",

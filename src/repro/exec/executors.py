@@ -119,6 +119,34 @@ class Executor:
     def is_first_tick(self) -> bool:
         return self._instant is None
 
+    @property
+    def live(self) -> bool:
+        """True iff this node may change its output at an instant where
+        none of the query's base sources changed — time-driven semantics
+        (window expiry, per-instant stream emission, in-flight or pending
+        invocations).  The tick scheduler must evaluate queries containing
+        a live executor at every instant."""
+        return False
+
+    def fresh_view(self) -> frozenset[tuple]:
+        """The contents a *freshly registered* executor over the same
+        subplan would hold at the current instant.  For state-derived
+        operators that is simply :attr:`current`; stream-typed executors
+        override it (their emission depends on registration time)."""
+        return frozenset(self.current)
+
+    def _pull(self, child: "Executor", ctx: EvaluationContext) -> Delta:
+        """Advance ``child`` and return the delta *this* node should
+        consume.  On this node's own first tick the child may already be
+        warm (a shared subplan leased from the registry after other
+        queries ran it): the catch-up delta is then the child's full fresh
+        view as insertions, exactly what a fresh child's first tick would
+        have produced."""
+        delta = child.tick(ctx)
+        if self.is_first_tick:
+            return Delta(child.fresh_view(), _EMPTY)
+        return delta
+
     def _advance(self, ctx: EvaluationContext):
         raise NotImplementedError
 
@@ -177,6 +205,11 @@ class ScanExec(Executor):
         # still change (same-instant writes) or appear; everything below
         # has been applied to `current`.
         self._consumed: int | None = None
+        #: True once the stored relation was seen to be journaled; the
+        #: reported delta is then registration-independent (read from the
+        #: journal), which stream/window parents and the shared engine use
+        #: to decide whether a warm scan needs first-tick synthesis.
+        self.journaled = False
 
     def _advance(self, ctx: EvaluationContext):
         node = self.node
@@ -188,6 +221,7 @@ class ScanExec(Executor):
         journaled = hasattr(stored, "changes_between") and hasattr(
             stored, "inserted_at"
         )
+        self.journaled = journaled
         rebase = self.is_first_tick or stored is not self._stored
         if not rebase and isinstance(stored, XRelation):
             return EMPTY_DELTA  # static relation, same object: nothing moved
@@ -269,7 +303,7 @@ class SelectionExec(Executor):
         return self._formula.evaluate(row)
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
-        delta = self.children[0].tick(ctx)
+        delta = self._pull(self.children[0], ctx)
         if not delta:
             return EMPTY_DELTA
         return Delta(
@@ -293,7 +327,7 @@ class ProjectionExec(Executor):
         return tuple(t[p] for p in self._positions)
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
-        delta = self.children[0].tick(ctx)
+        delta = self._pull(self.children[0], ctx)
         if not delta:
             return EMPTY_DELTA
         touched: set[tuple] = set()
@@ -320,7 +354,7 @@ class RenamingExec(Executor):
         super().__init__(node, (child,))
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
-        return self.children[0].tick(ctx)
+        return self._pull(self.children[0], ctx)
 
 
 class AssignmentExec(Executor):
@@ -346,7 +380,7 @@ class AssignmentExec(Executor):
         return t[: self._target] + (value,) + t[self._target :]
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
-        delta = self.children[0].tick(ctx)
+        delta = self._pull(self.children[0], ctx)
         if not delta:
             return EMPTY_DELTA
         return Delta(
@@ -389,8 +423,8 @@ class JoinExec(Executor):
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
         left, right = self.children
-        ld = left.tick(ctx)
-        rd = right.tick(ctx)
+        ld = self._pull(left, ctx)
+        rd = self._pull(right, ctx)
         if not ld and not rd:
             return EMPTY_DELTA
         touched: set[tuple] = set()
@@ -454,8 +488,8 @@ class _SetOpExec(Executor):
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
         left, right = self.children
-        ld = left.tick(ctx)
-        rd = right.tick(ctx)
+        ld = self._pull(left, ctx)
+        rd = self._pull(right, ctx)
         if not ld and not rd:
             return EMPTY_DELTA
         touched = set().union(ld.inserted, ld.deleted, rd.inserted, rd.deleted)
@@ -512,7 +546,7 @@ class AggregateExec(Executor):
         return tuple(row)
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
-        delta = self.children[0].tick(ctx)
+        delta = self._pull(self.children[0], ctx)
         if not delta:
             return EMPTY_DELTA
         affected: set[tuple] = set()
@@ -594,9 +628,25 @@ class InvocationExec(Executor):
             for o in outputs
         )
 
+    @property
+    def live(self) -> bool:
+        # Pending tuples are retried (sync skip) and in-flight async
+        # responses land at later instants — both without any new child
+        # change, so the scheduler may not skip this query meanwhile.
+        return bool(self._pending or self._due)
+
     def _advance(self, ctx: EvaluationContext) -> Delta:
         node = self.node
-        delta = self.children[0].tick(ctx)
+        delta = self._pull(self.children[0], ctx)
+        if self.is_first_tick and (self._cache or self._pending):
+            # A prior first-tick attempt raised mid-invocation and the
+            # operand changed before the retry: the catch-up delta carries
+            # no deletions, so drop vanished operand tuples explicitly.
+            vanished = (
+                set(self._cache) | self._pending | set(self._due)
+            ) - set(delta.inserted)
+            if vanished:
+                delta = Delta(delta.inserted, frozenset(vanished))
         # Rows cached by a partial advance that raised never reached
         # `current`; publish them now that this advance completes.
         inserted: set[tuple] = set(self._unflushed)
@@ -679,6 +729,13 @@ class StreamingInvocationExec(Executor):
                 sources.append(("child", source.real_position(attribute.name)))
         self._out_sources = sources
 
+    @property
+    def live(self) -> bool:
+        # β∞ models services as per-instant data sources: every operand
+        # tuple is re-invoked at every instant, whether or not any base
+        # relation changed.
+        return True
+
     def _advance(self, ctx: EvaluationContext):
         node = self.node
         (child,) = self.children
@@ -727,14 +784,42 @@ class StreamingExec(Executor):
     def __init__(self, node: Streaming, child: Executor):
         super().__init__(node, (child,))
 
+    @property
+    def live(self) -> bool:
+        # The emission at each instant is that instant's delta: even with
+        # quiescent sources the output changes (yesterday's emission must
+        # drain to an empty one), so stream queries never skip a tick.
+        return True
+
+    def _journal_scan_child(self) -> bool:
+        (child,) = self.children
+        return isinstance(child, ScanExec) and child.journaled
+
+    def fresh_view(self) -> frozenset[tuple]:
+        # What a freshly registered S[type] would emit right now.  Over a
+        # journaled scan the reported delta is registration-independent,
+        # so the warm emission is already correct; over a derived operand
+        # a fresh child reports its full contents as insertions.
+        if self.node.kind is StreamType.HEARTBEAT or self._journal_scan_child():
+            return frozenset(self.current)
+        if self.node.kind is StreamType.DELETION:
+            return _EMPTY
+        return self.children[0].fresh_view()
+
     def _advance(self, ctx: EvaluationContext):
         node = self.node
         (child,) = self.children
+        child_was_fresh = child.is_first_tick
         child.tick(ctx)
+        synthesize = (
+            self.is_first_tick
+            and not child_was_fresh
+            and not self._journal_scan_child()
+        )
         if node.kind is StreamType.INSERTION:
-            emitted = child.reported.inserted
+            emitted = child.fresh_view() if synthesize else child.reported.inserted
         elif node.kind is StreamType.DELETION:
-            emitted = child.reported.deleted
+            emitted = _EMPTY if synthesize else child.reported.deleted
         else:  # heartbeat: all tuples present at this instant
             emitted = frozenset(child.current)
         change = Delta(
@@ -760,8 +845,15 @@ class WindowExec(Executor):
         self._journal_mode: bool | None = None
         self._consumed: int | None = None
 
+    @property
+    def live(self) -> bool:
+        # Window contents change by pure passage of time: a bucket expires
+        # `period` instants after it was filled, with no source activity.
+        return True
+
     def _advance(self, ctx: EvaluationContext) -> Delta:
         (child,) = self.children
+        child_was_fresh = child.is_first_tick
         child.tick(ctx)
         if self._journal_mode is None:
             self._journal_mode = self._detect_journal(ctx)
@@ -769,6 +861,11 @@ class WindowExec(Executor):
         horizon = ctx.instant - self.period  # keep instants > horizon
         if self._journal_mode:
             self._feed_from_journal(ctx, horizon, touched)
+        elif self.is_first_tick and not child_was_fresh:
+            # Fresh window over a warm (shared) derived operand: a fresh
+            # child would have reported its full contents as this
+            # instant's insertions.
+            self._feed_bucket(ctx.instant, child.fresh_view(), touched)
         else:
             self._feed_bucket(ctx.instant, child.reported.inserted, touched)
         for instant in [
@@ -843,6 +940,12 @@ class FallbackExec(Executor):
 
     def __init__(self, node: Operator):
         super().__init__(node)
+
+    @property
+    def live(self) -> bool:
+        # An unlowered subtree has unknown (possibly time-driven)
+        # semantics: never skip its query.
+        return True
 
     def _advance(self, ctx: EvaluationContext):
         node = self.node

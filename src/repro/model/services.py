@@ -107,6 +107,13 @@ class ServiceRegistry:
         for service in services:
             self.register(service)
         self._invocation_count = 0
+        # Per-instant invocation memo (see begin_instant_memo): active only
+        # inside a PEMS tick, where identical (prototype, service, inputs)
+        # calls from different continuous queries are deterministic
+        # duplicates (Section 3.2) and hit the device once.
+        self._memo: dict[tuple, list[tuple]] | None = None
+        self._memo_instant: int | None = None
+        self._memo_hits = 0
 
     # -- registration (dynamic discovery feeds these) -----------------------
 
@@ -159,6 +166,36 @@ class ServiceRegistry:
     def reset_invocation_count(self) -> None:
         self._invocation_count = 0
 
+    # -- per-instant memoization (multi-query sharing) -----------------------
+
+    @property
+    def memo_hits(self) -> int:
+        """Invocations answered from the per-instant memo instead of the
+        device (not counted in :attr:`invocation_count`)."""
+        return self._memo_hits
+
+    def begin_instant_memo(self, instant: int) -> None:
+        """Start memoizing successful invocations for ``instant``.
+
+        Services are deterministic at a given instant (Section 3.2): the
+        same invocation at the same instant always returns the same
+        result, regardless of invocation order — so within one instant a
+        repeated ``(prototype, service, inputs)`` call may be answered
+        from cache.  The memo is scoped by the caller (the query
+        processor's tick loop) via :meth:`end_instant_memo`; outside that
+        scope every invocation reaches the device, keeping one-shot
+        evaluation and invocation-count benchmarks unaffected.
+        """
+        if self._memo_instant != instant:
+            self._memo = {}
+            self._memo_instant = instant
+        elif self._memo is None:
+            self._memo = {}
+
+    def end_instant_memo(self) -> None:
+        """Stop memoizing; cached results for the instant are discarded."""
+        self._memo = None
+
     def invoke(
         self,
         prototype: Prototype,
@@ -184,6 +221,17 @@ class ServiceRegistry:
                 f"attributes {sorted(provided)} do not match prototype input "
                 f"schema {sorted(expected)}"
             )
+        key: tuple | None = None
+        if self._memo is not None and instant == self._memo_instant:
+            try:
+                key = (prototype.name, reference, tuple(sorted(inputs.items())))
+            except TypeError:
+                key = None  # unhashable input value: bypass the memo
+            if key is not None:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self._memo_hits += 1
+                    return list(cached)
         self._invocation_count += 1
         try:
             rows = handler(dict(inputs), instant)
@@ -200,4 +248,6 @@ class ServiceRegistry:
                     f"invocation of {prototype.name!r} on {reference!r} "
                     f"returned an invalid output tuple {row!r}: {exc}"
                 ) from exc
+        if key is not None and self._memo is not None:
+            self._memo[key] = list(results)  # successes only
         return results

@@ -37,11 +37,13 @@ class PEMS:
     """A Pervasive Environment Management System instance.
 
     ``engine`` selects the execution engine for continuous queries
-    registered through the query processor — ``"incremental"`` (default)
-    or ``"naive"`` (see :mod:`repro.continuous.continuous_query`).
+    registered through the query processor — ``"shared"`` (default:
+    incremental execution with cross-query subplan sharing and the
+    quiescence-aware tick scheduler), ``"incremental"`` or ``"naive"``
+    (see :mod:`repro.continuous.continuous_query`).
     """
 
-    def __init__(self, engine: str = "incremental"):
+    def __init__(self, engine: str = "shared"):
         self.clock = VirtualClock()
         self.bus = DiscoveryBus()
         self.environment = PervasiveEnvironment()

@@ -11,6 +11,7 @@ sensors join "without the need to stop the continuous query execution".
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Mapping
@@ -19,6 +20,8 @@ from repro.algebra.query import Query, QueryResult
 from repro.continuous.continuous_query import ContinuousQuery
 from repro.continuous.time import VirtualClock
 from repro.errors import SerenaError, UnknownAttributeError
+from repro.exec.scheduler import TickScheduler
+from repro.exec.shared import SharedPlanRegistry
 from repro.model.environment import PervasiveEnvironment
 from repro.model.services import Service
 from repro.pems.erm import EnvironmentResourceManager
@@ -74,9 +77,12 @@ class QueryProcessor:
         The PEMS components the processor is wired to (Figure 1).
     engine:
         Execution engine for registered continuous queries:
-        ``"incremental"`` (default, the delta-driven physical engine of
-        :mod:`repro.exec`) or ``"naive"`` (full re-evaluation each tick,
-        the differential-testing oracle).
+        ``"shared"`` (default — the delta-driven physical engine of
+        :mod:`repro.exec` with cross-query subplan sharing and the
+        quiescence-aware tick scheduler), ``"incremental"`` (the same
+        physical engine, one private plan per query, every query
+        evaluated every tick) or ``"naive"`` (full re-evaluation each
+        tick, the differential-testing oracle).
     """
 
     def __init__(
@@ -85,14 +91,23 @@ class QueryProcessor:
         clock: VirtualClock,
         erm: EnvironmentResourceManager,
         tables: ExtendedTableManager,
-        engine: str = "incremental",
+        engine: str = "shared",
     ):
         self.environment = environment
         self.clock = clock
         self.erm = erm
         self.tables = tables
         self.engine = engine
+        #: Shared-subplan registry for engine="shared" queries: one per
+        #: processor, so co-registered queries share physical subtrees.
+        self.shared = SharedPlanRegistry(environment)
+        #: Quiescence-aware scheduler for engine="shared" queries.
+        self.scheduler = TickScheduler(environment)
+        erm.on_discovery(self.scheduler.on_discovery_event)
         self._continuous: dict[str, ContinuousQuery] = {}
+        #: Evaluation order (sorted names), maintained at register/
+        #: deregister time instead of re-sorting every tick.
+        self._order: list[str] = []
         self._discovery: list[DiscoveryQuery] = []
         self._rows_by_service: dict[tuple[str, str], tuple] = {}
         self._failures: deque[QueryFailure] = deque(maxlen=FAILURE_LOG_SIZE)
@@ -160,19 +175,27 @@ class QueryProcessor:
         key = name or query.name or f"query-{len(self._continuous) + 1}"
         if key in self._continuous:
             raise SerenaError(f"continuous query {key!r} already registered")
+        effective = engine if engine is not None else self.engine
         continuous = ContinuousQuery(
             query,
             self.environment,
             keep_history,
-            engine=engine if engine is not None else self.engine,
+            engine=effective,
+            shared=self.shared if effective == "shared" else None,
         )
         self._continuous[key] = continuous
+        insort(self._order, key)
+        if effective == "shared":
+            self.scheduler.register(key, continuous)
         return continuous
 
     def deregister_continuous(self, name: str) -> None:
         if name not in self._continuous:
             raise SerenaError(f"no continuous query named {name!r}")
-        del self._continuous[name]
+        continuous = self._continuous.pop(name)
+        self._order.remove(name)
+        self.scheduler.deregister(name)
+        continuous.release()
 
     def continuous_query(self, name: str) -> ContinuousQuery:
         try:
@@ -214,7 +237,11 @@ class QueryProcessor:
         return discovery
 
     def _sync_discovery(self, discovery: DiscoveryQuery) -> None:
-        """Diff the relation against the currently available services."""
+        """Diff the relation against the currently available services.
+
+        All appeared rows land in a single journal insert, all departed
+        rows in a single delete — one write batch per relation per tick.
+        """
         prototype = self.environment.prototype(discovery.prototype_name)
         schema = self.environment.schema(discovery.relation_name)
         available = {s.reference: s for s in self.erm.available(prototype)}
@@ -223,32 +250,59 @@ class QueryProcessor:
             for (rel, ref), row in self._rows_by_service.items()
             if rel == discovery.relation_name
         }
+        appeared: list[tuple] = []
         for reference in sorted(set(available) - set(tracked)):
             row = discovery.build_row(available[reference], schema)
             values = schema.tuple_from_mapping(row)
-            self.tables.insert_tuples(discovery.relation_name, [values])
+            appeared.append(values)
             self._rows_by_service[(discovery.relation_name, reference)] = values
+        departed: list[tuple] = []
         for reference in sorted(set(tracked) - set(available)):
-            values = tracked[reference]
-            self.tables.delete_tuples(discovery.relation_name, [values])
+            departed.append(tracked[reference])
             del self._rows_by_service[(discovery.relation_name, reference)]
+        if appeared:
+            self.tables.insert_tuples(discovery.relation_name, appeared)
+        if departed:
+            self.tables.delete_tuples(discovery.relation_name, departed)
 
     # -- the tick loop ---------------------------------------------------------------------
 
     def _on_tick(self, instant: int) -> None:
-        """Per-instant work: sync discovery tables, then evaluate every
-        registered continuous query.
+        """Per-instant work: sync discovery tables, then advance every
+        registered continuous query — evaluating the ones the scheduler
+        marked affected and carrying the rest forward in O(1).
 
         Ordering matters and mirrors the prototype: discovery updates are
         applied first so queries at instant τ see the service set of τ.
+        While queries run, the service registry memoizes invocations per
+        instant, so identical calls issued by different queries within
+        one tick reach the device once.
         """
         for discovery in self._discovery:
             self._sync_discovery(discovery)
-        for name in sorted(self._continuous):
-            try:
-                self._continuous[name].evaluate_at(instant)
-            except Exception as exc:
-                self._failures.append(QueryFailure(instant, name, exc))
+        registry = self.environment.registry
+        registry.begin_instant_memo(instant)
+        try:
+            affected = self.scheduler.plan(instant)
+            for name in list(self._order):
+                continuous = self._continuous.get(name)
+                if continuous is None:  # deregistered by a listener mid-tick
+                    continue
+                scheduled = name in self.scheduler
+                try:
+                    if scheduled and name not in affected:
+                        continuous.carry_forward(instant)
+                        self.scheduler.skipped(name)
+                    else:
+                        continuous.evaluate_at(instant)
+                        if scheduled:
+                            self.scheduler.evaluated(name, True)
+                except Exception as exc:
+                    self._failures.append(QueryFailure(instant, name, exc))
+                    if scheduled:
+                        self.scheduler.evaluated(name, False)
+        finally:
+            registry.end_instant_memo()
 
     def __repr__(self) -> str:
         return (

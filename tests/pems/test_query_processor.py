@@ -175,6 +175,111 @@ class TestFailureRetention:
         assert len(pems.queries.failures) == 1
 
 
+class TestSharedDeregistration:
+    """Satellite coverage: deregistering one query of a shared plan
+    releases only its own refcounts; co-owned subplans keep running."""
+
+    def watch(self, pems, name):
+        return pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .select(col("location").ne("void"))
+            .query(),
+            name=name,
+        )
+
+    def churn(self, pems, instant):
+        pems.tables.insert(
+            "sensors", [{"sensor": f"s{instant}", "location": f"room{instant}"}]
+        )
+
+    def test_deregister_releases_only_own_refcounts(self, pems):
+        registry = pems.queries.shared
+        self.watch(pems, "a")
+        counts_single = dict(registry.refcounts())
+        assert counts_single and all(c == 1 for c in counts_single.values())
+        self.watch(pems, "b")
+        assert all(c == 2 for c in registry.refcounts().values())
+        pems.queries.deregister_continuous("a")
+        assert dict(registry.refcounts()) == counts_single
+        pems.queries.deregister_continuous("b")
+        assert len(registry) == 0  # no leaked entries
+
+    def test_survivor_keeps_running_after_co_owner_leaves(self, pems):
+        a = self.watch(pems, "a")
+        b = self.watch(pems, "b")
+        oracle = pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .select(col("location").ne("void"))
+            .query(),
+            name="oracle",
+            engine="naive",
+        )
+        self.churn(pems, 0)
+        pems.run(2)
+        pems.queries.deregister_continuous("a")
+        for _ in range(3):
+            self.churn(pems, pems.clock.now)
+            pems.run(1)
+            assert (
+                b.last_result.relation.tuples
+                == oracle.last_result.relation.tuples
+            )
+            delta = b.last_reported_delta
+            naive_delta = oracle.last_reported_delta
+            assert frozenset(delta.inserted) == frozenset(naive_delta.inserted)
+            assert frozenset(delta.deleted) == frozenset(naive_delta.deleted)
+        assert a.last_result.instant < pems.clock.now  # a stopped ticking
+
+    def test_reregistered_identical_query_reshares(self, pems):
+        b = self.watch(pems, "b")
+        self.watch(pems, "a")
+        pems.run(2)
+        pems.queries.deregister_continuous("a")
+        a2 = self.watch(pems, "a")
+        assert a2.sharing_summary["shared"] > 0
+        shared_ids = {id(e) for e in b.executors()}
+        assert any(id(e) in shared_ids for e in a2.executors())
+        self.churn(pems, pems.clock.now)
+        pems.run(1)
+        assert a2.last_result.relation.tuples == b.last_result.relation.tuples
+
+    def test_sharing_summary_shape(self, pems):
+        a = self.watch(pems, "a")
+        summary = a.sharing_summary
+        assert summary["executors"] == summary["shared"] + summary["private"]
+        assert summary["fingerprint"]
+        assert all(
+            lease["refcount"] >= 1 and lease["operator"] for lease in summary["leases"]
+        )
+
+
+class TestInstantInvocationMemo:
+    """Identical invocations issued by different queries within one tick
+    reach the device once (per-instant memo in the service registry)."""
+
+    def test_duplicate_queries_invoke_once(self, pems):
+        plug_sensor(pems, "sensor01")
+        pems.queries.register_discovery("getTemperature", "sensors", "sensor")
+        query = scan(pems.environment, "sensors").invoke("getTemperature")
+        a = pems.queries.register_continuous(query.query(), name="a")
+        # Same call shape, different (unshareable) private β executor:
+        b = pems.queries.register_continuous(
+            query.project("sensor", "temperature").query(), name="b"
+        )
+        registry = pems.environment.registry
+        before = registry.invocation_count
+        pems.run(1)
+        assert registry.invocation_count == before + 1
+        assert registry.memo_hits >= 1
+        assert a.last_result.relation.tuples
+        assert b.last_result.relation.tuples
+        # Outside the tick loop the memo is off: a one-shot invocation
+        # issued between ticks reaches the device again.
+        result = pems.queries.execute(query.query())
+        assert registry.invocation_count == before + 2
+        assert len(result.relation) == 1
+
+
 class TestEngineSelection:
     def test_per_query_engine_override(self, pems):
         plug_sensor(pems, "sensor01")
@@ -186,7 +291,7 @@ class TestEngineSelection:
             name="naive-engine",
             engine="naive",
         )
-        assert default.engine == "incremental"
+        assert default.engine == "shared"
         assert naive.engine == "naive"
         pems.run(2)
         assert (
