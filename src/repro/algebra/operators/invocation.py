@@ -49,7 +49,7 @@ from repro.model.xschema import ExtendedRelationSchema
 
 __all__ = ["Invocation"]
 
-_ERROR_POLICIES = ("raise", "skip")
+_ERROR_POLICIES = ("raise", "skip", "degrade")
 
 
 class Invocation(Operator):
@@ -63,9 +63,18 @@ class Invocation(Operator):
         The binding pattern to invoke; must be one of the operand schema's.
     on_error:
         ``"raise"`` (default) propagates service failures;
-        ``"skip"`` drops the offending input tuple — the pragmatic policy
-        for dynamic environments where a service may disappear between
-        discovery and invocation (used by the PEMS query processor).
+        ``"skip"`` drops the offending input tuple and retries it every
+        following instant while it remains in the operand — the pragmatic
+        policy for dynamic environments where a service may disappear
+        between discovery and invocation (used by the PEMS query
+        processor);
+        ``"degrade"`` drops the offending input tuple and *parks* it: the
+        tuple is not retried until it leaves and re-enters the operand, so
+        a crashed provider costs one failed invocation instead of one per
+        tick, while rows from healthy providers keep flowing.  Combined
+        with the ERM's quarantine (which removes and later re-admits the
+        failing service, cycling its discovery rows), parked tuples are
+        naturally retried on recovery.
     delay:
         Asynchronous round-trip time in instants (0 = synchronous).  Only
         effective under a continuous evaluation context.
@@ -146,12 +155,17 @@ class Invocation(Operator):
         # Asynchronous mode (continuous contexts only): tuple → instant at
         # which its invocation result becomes available.
         due: dict[tuple, int] = state.setdefault("due", {})
+        # Degrade mode: tuples whose invocation failed, parked until they
+        # leave the operand (contribute nothing, are not retried).
+        parked: set[tuple] = state.setdefault("parked", set())
         asynchronous = self.delay > 0 and ctx.continuous
         seen_now: set[tuple] = set()
 
         out = []
         for t in relation:
             seen_now.add(t)
+            if t in parked:
+                continue
             results = cache.get(t)
             if results is None:
                 if asynchronous:
@@ -171,6 +185,10 @@ class Invocation(Operator):
                     if self.on_error == "skip":
                         due.pop(t, None)
                         continue
+                    if self.on_error == "degrade":
+                        due.pop(t, None)
+                        parked.add(t)
+                        continue
                     raise
                 cache[t] = results
                 due.pop(t, None)
@@ -189,6 +207,7 @@ class Invocation(Operator):
             del cache[stale]
         for stale in [key for key in due if key not in seen_now]:
             del due[stale]
+        parked.intersection_update(seen_now)
         return XRelation(self.schema, out, validated=True)
 
     def render(self) -> str:

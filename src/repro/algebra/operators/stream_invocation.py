@@ -35,7 +35,11 @@ from repro.model.xschema import ExtendedRelationSchema
 
 __all__ = ["StreamingInvocation"]
 
-_ERROR_POLICIES = ("raise", "skip")
+# "degrade" is accepted as an alias of "skip" here: a streaming binding
+# pattern re-invokes every operand tuple at every instant anyway, so there
+# is no pending work to park — the failed reading is simply absent from
+# this instant's emission.
+_ERROR_POLICIES = ("raise", "skip", "degrade")
 
 
 class StreamingInvocation(Operator):
@@ -155,7 +159,7 @@ class StreamingInvocation(Operator):
                     prototype, reference, inputs, ctx.instant
                 )
             except ServiceError:
-                if self.on_error == "skip":
+                if self.on_error in ("skip", "degrade"):
                     continue
                 raise
             for output_tuple in results:

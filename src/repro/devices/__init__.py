@@ -2,6 +2,7 @@
 rebuilt as deterministic in-process services — see DESIGN.md §1)."""
 
 from repro.devices.cameras import Camera
+from repro.devices.faults import FaultInjector, FaultScript, InjectedFault
 from repro.devices.paper_example import PaperExample, build_paper_example
 from repro.devices.messengers import (
     Message,
@@ -38,7 +39,10 @@ __all__ = [
     "Camera",
     "DEFAULT_SITES",
     "FETCH_ITEMS",
+    "FaultInjector",
+    "FaultScript",
     "GET_TEMPERATURE",
+    "InjectedFault",
     "Message",
     "Messenger",
     "Outbox",

@@ -36,10 +36,12 @@ from repro.devices.prototypes import (
     STANDARD_PROTOTYPES,
     TAKE_PHOTO,
 )
+from repro.devices.faults import FaultInjector, FaultScript
 from repro.devices.rss import DEFAULT_SITES, RssFeed, RssStreamWrapper
 from repro.devices.sensors import SensorStreamFeeder, TemperatureSensor
 from repro.model.attributes import Attribute
 from repro.model.binding import BindingPattern
+from repro.model.invocation_policy import InvocationPolicy
 from repro.model.types import DataType
 from repro.model.xschema import ExtendedRelationSchema
 from repro.pems.pems import PEMS
@@ -190,6 +192,7 @@ class Scenario:
     messengers: dict[str, Messenger] = field(default_factory=dict)
     feeds: dict[str, RssFeed] = field(default_factory=dict)
     queries: dict[str, ContinuousQuery] = field(default_factory=dict)
+    injectors: dict[str, FaultInjector] = field(default_factory=dict)
 
     @property
     def environment(self):
@@ -267,6 +270,9 @@ def build_temperature_surveillance(
     messenger_failure_rate: float = 0.0,
     with_photo_messages: bool = False,
     engine: str = "incremental",
+    policy: InvocationPolicy | None = None,
+    sensor_faults: dict[str, FaultScript] | None = None,
+    fault_seed: object = "chaos",
 ) -> Scenario:
     """Assemble the full temperature surveillance environment.
 
@@ -287,10 +293,16 @@ def build_temperature_surveillance(
     ``sendPhotoMessage`` (the photo realized by ``takePhoto`` flows into
     the contacts binding pattern through the join's implicit realization).
 
-    ``engine`` selects the continuous-query execution engine (see
-    :class:`~repro.pems.pems.PEMS`).
+    ``engine`` selects the continuous-query execution engine and
+    ``policy`` the fault-tolerance invocation policy (see
+    :class:`~repro.pems.pems.PEMS`).  ``sensor_faults`` maps sensor
+    references to :class:`~repro.devices.faults.FaultScript`\\ s: those
+    sensors are wrapped in a :class:`~repro.devices.faults.FaultInjector`
+    (seeded with ``fault_seed``) before registration, so the scripted
+    chaos flows through the same discovery/invocation path as the §5.2
+    ``messenger_failure_rate`` flakiness.
     """
-    pems = PEMS(engine=engine)
+    pems = PEMS(engine=engine, policy=policy)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)
@@ -305,7 +317,13 @@ def build_temperature_surveillance(
     for reference, location, base in _DEFAULT_SENSORS:
         sensor = TemperatureSensor(reference, location, base)
         scenario.sensors[reference] = sensor
-        field_erm.register(sensor.as_service())
+        registered = sensor.as_service()
+        script = (sensor_faults or {}).get(reference)
+        if script is not None:
+            injector = FaultInjector(registered, script, seed=fault_seed)
+            scenario.injectors[reference] = injector
+            registered = injector.as_service()
+        field_erm.register(registered)
     for reference, area, quality, delay in _DEFAULT_CAMERAS:
         camera = Camera(reference, area, quality, delay)
         scenario.cameras[reference] = camera
@@ -423,6 +441,7 @@ def build_rss_scenario(
     with_queries: bool = True,
     seed: int = 0,
     engine: str = "incremental",
+    policy: InvocationPolicy | None = None,
 ) -> Scenario:
     """Assemble the RSS experiment: feeds → news stream → keyword query.
 
@@ -434,7 +453,7 @@ def build_rss_scenario(
     ``engine`` selects the continuous-query execution engine (see
     :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS(engine=engine)
+    pems = PEMS(engine=engine, policy=policy)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)

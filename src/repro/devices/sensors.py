@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.devices.determinism import stable_gauss_like
 from repro.devices.prototypes import GET_TEMPERATURE
+from repro.errors import ServiceError
 from repro.model.services import Service, ServiceRegistry
 
 __all__ = ["TemperatureSensor", "SensorStreamFeeder"]
@@ -128,7 +129,14 @@ class SensorStreamFeeder:
             return
         rows = []
         for service in self.registry.providers(GET_TEMPERATURE):
-            results = self.registry.invoke(GET_TEMPERATURE, service.reference, {}, instant)
+            try:
+                results = self.registry.invoke(
+                    GET_TEMPERATURE, service.reference, {}, instant
+                )
+            except ServiceError:
+                # One faulty sensor must not silence the whole stream:
+                # its reading is absent this instant, the others flow on.
+                continue
             location = str(service.properties.get("location", "unknown"))
             for (temperature,) in results:
                 rows.append(

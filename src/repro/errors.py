@@ -31,6 +31,7 @@ __all__ = [
     "UnknownServiceError",
     "PrototypeNotImplementedError",
     "InvocationError",
+    "ServiceUnavailableError",
     "ParseError",
     "RewriteError",
 ]
@@ -159,6 +160,26 @@ class PrototypeNotImplementedError(ServiceError):
 
 class InvocationError(ServiceError):
     """A service method raised or returned data outside its output schema."""
+
+
+class ServiceUnavailableError(InvocationError):
+    """An invocation was refused by the fault-tolerance policy without
+    reaching the device: the service is quarantined, inside a failure
+    backoff window, or over its per-tick attempt budget.
+
+    ``reason`` is one of ``"quarantined"``, ``"backoff"`` or
+    ``"attempt-cap"``; ``retry_at`` (when known) is the first instant at
+    which the registry will attempt the device again.
+    """
+
+    def __init__(self, reference: object, reason: str, retry_at: int | None = None):
+        when = f" (retry at instant {retry_at})" if retry_at is not None else ""
+        super().__init__(
+            f"service {reference!r} unavailable: {reason}{when}"
+        )
+        self.reference = reference
+        self.reason = reason
+        self.retry_at = retry_at
 
 
 # ---------------------------------------------------------------------------

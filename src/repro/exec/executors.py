@@ -592,7 +592,10 @@ class InvocationExec(Executor):
     whose asynchronous response has not landed yet, and tuples whose
     synchronous invocation failed under ``on_error="skip"`` (the naive
     engine retries those every instant while they stay present — pinned
-    behaviour, see tests).
+    behaviour, see tests).  Under ``on_error="degrade"`` failed tuples are
+    *parked* instead: not retried while present, not counted as live, and
+    re-attempted only when the tuple leaves and re-enters the operand
+    (e.g. when the ERM quarantines and later re-admits the provider).
     """
 
     def __init__(self, node: Invocation, child: Executor):
@@ -619,6 +622,8 @@ class InvocationExec(Executor):
         self._pending: set[tuple] = set()
         #: async mode: operand tuple -> instant its response lands.
         self._due: dict[tuple, int] = {}
+        #: degrade mode: failed operand tuples, not retried while present.
+        self._parked: set[tuple] = set()
         #: rows invoked but not yet published (mid-tick failure recovery).
         self._unflushed: set[tuple] = set()
 
@@ -633,6 +638,8 @@ class InvocationExec(Executor):
         # Pending tuples are retried (sync skip) and in-flight async
         # responses land at later instants — both without any new child
         # change, so the scheduler may not skip this query meanwhile.
+        # Parked tuples (degrade mode) are deliberately NOT live: they
+        # wake up only through a child change, which the scheduler sees.
         return bool(self._pending or self._due)
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
@@ -643,7 +650,7 @@ class InvocationExec(Executor):
             # operand changed before the retry: the catch-up delta carries
             # no deletions, so drop vanished operand tuples explicitly.
             vanished = (
-                set(self._cache) | self._pending | set(self._due)
+                set(self._cache) | self._pending | set(self._due) | self._parked
             ) - set(delta.inserted)
             if vanished:
                 delta = Delta(delta.inserted, frozenset(vanished))
@@ -659,10 +666,13 @@ class InvocationExec(Executor):
                 deleted.update(r for r in rows if r in self.current)
             self._pending.discard(t)
             self._due.pop(t, None)  # in-flight request dropped with its tuple
+            self._parked.discard(t)  # re-insertion will retry (degrade mode)
         # Exclude cached tuples: a partial advance that raised may be
         # re-run against the same memoized child delta.
         self._pending.update(
-            t for t in delta.inserted if t not in self._cache
+            t
+            for t in delta.inserted
+            if t not in self._cache and t not in self._parked
         )
 
         if self._pending:
@@ -688,6 +698,11 @@ class InvocationExec(Executor):
                         # retried next instant; async: re-scheduled with
                         # the full delay — naive-engine parity).
                         self._due.pop(t, None)
+                        continue
+                    if node.on_error == "degrade":
+                        self._due.pop(t, None)
+                        self._pending.discard(t)
+                        self._parked.add(t)
                         continue
                     raise
                 rows = self._rows(t, results)
@@ -753,7 +768,10 @@ class StreamingInvocationExec(Executor):
                     bp.prototype, reference, inputs, ctx.instant
                 )
             except ServiceError:
-                if node.on_error == "skip":
+                if node.on_error in ("skip", "degrade"):
+                    # β∞ re-invokes every tuple each instant anyway, so
+                    # degrade has nothing to park: the reading is simply
+                    # absent from this instant's emission (same as skip).
                     continue
                 raise
             for output in results:

@@ -4,12 +4,19 @@ Public names::
 
     DataType, Attribute, RelationSchema, ExtendedRelationSchema,
     XRelation, Prototype, Service, ServiceRegistry, BindingPattern,
-    PervasiveEnvironment
+    PervasiveEnvironment, InvocationPolicy, HealthTracker, HealthState
 """
 
 from repro.model.attributes import Attribute
 from repro.model.binding import BindingPattern
 from repro.model.environment import PervasiveEnvironment
+from repro.model.invocation_policy import (
+    PERMISSIVE_POLICY,
+    HealthState,
+    HealthTracker,
+    InvocationPolicy,
+    ServiceHealth,
+)
 from repro.model.prototypes import Prototype
 from repro.model.relation import XRelation
 from repro.model.schema import RelationSchema
@@ -22,11 +29,16 @@ __all__ = [
     "BindingPattern",
     "DataType",
     "ExtendedRelationSchema",
+    "HealthState",
+    "HealthTracker",
+    "InvocationPolicy",
     "MethodHandler",
+    "PERMISSIVE_POLICY",
     "PervasiveEnvironment",
     "Prototype",
     "RelationSchema",
     "Service",
+    "ServiceHealth",
     "ServiceRegistry",
     "XRelation",
     "coerce_value",

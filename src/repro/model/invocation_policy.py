@@ -1,0 +1,307 @@
+"""Fault-tolerant service invocation: policies and per-service health.
+
+The paper promises that "sensors that are deactivated (or failing) [are]
+automatically removed" (Section 1.2), and its evaluation runs against
+flaky physical devices.  This module supplies the model-level half of
+that promise:
+
+* :class:`InvocationPolicy` — the knobs: how many device attempts a
+  service gets per tick, how long to back off after a failure, how many
+  consecutive failures quarantine a service and for how long;
+* :class:`HealthTracker` — per-service health records (consecutive
+  failures, last success/failure instants, an UP → SUSPECT → QUARANTINED
+  state machine) fed by :meth:`repro.model.services.ServiceRegistry.invoke`
+  and consumed by the core ERM, which treats a quarantined service like a
+  lease expiry (see :mod:`repro.pems.erm`).
+
+Determinism at an instant (Section 3.2) shapes the design: gates that
+decide whether an invocation may reach the device only ever consult
+health stamps from *strictly earlier* instants, so the outcome of an
+invocation at instant τ never depends on how many times — or in which
+order — other queries invoked the service at τ.  The one exception is the
+per-tick attempt cap (``max_failures_per_tick``), which counts same-tick
+device failures and is therefore order-sensitive; it is off by default
+and documented as an operational load-shedding guard (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "HealthState",
+    "InvocationPolicy",
+    "PERMISSIVE_POLICY",
+    "ServiceHealth",
+    "HealthTracker",
+]
+
+
+class HealthState(enum.Enum):
+    """The health state machine of one service."""
+
+    UP = "up"                    # no outstanding failures
+    SUSPECT = "suspect"          # failing, under the quarantine threshold
+    QUARANTINED = "quarantined"  # threshold crossed: remove from the environment
+
+    def __repr__(self) -> str:  # terse in test diffs
+        return self.value
+
+
+@dataclass(frozen=True)
+class InvocationPolicy:
+    """Retry/backoff/quarantine knobs enforced by the service registry.
+
+    Parameters
+    ----------
+    backoff:
+        After a device failure at instant τ, invocations of that service
+        at instants ``τ+1 .. τ+backoff-1`` fail fast (the device is not
+        contacted); the first real retry happens at ``τ+backoff``.
+        ``0`` disables the gate (retry every instant — seed behaviour).
+    failure_threshold:
+        Consecutive device failures that flip a service to QUARANTINED.
+        ``None`` disables quarantine.
+    quarantine_backoff:
+        Instants a quarantined service stays blocked before it may be
+        probed / re-admitted.  The core ERM uses this as the re-admission
+        delay after it removes the service (quarantine-as-lease-expiry).
+    max_failures_per_tick:
+        Per-service cap on *failed* device attempts within one instant;
+        once reached, further invocations that instant fail fast.  Bounds
+        the "N queries re-invoke one crashed device N times per tick"
+        cost, at the price of strict instant-determinism (the cap is
+        order-sensitive within the tick) — keep it ``None`` wherever
+        engines are compared differentially.
+    """
+
+    backoff: int = 0
+    failure_threshold: int | None = None
+    quarantine_backoff: int = 8
+    max_failures_per_tick: int | None = None
+
+    def __post_init__(self):
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.failure_threshold is not None and self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1 (or None)")
+        if self.quarantine_backoff < 1:
+            raise ValueError("quarantine_backoff must be >= 1")
+        if self.max_failures_per_tick is not None and self.max_failures_per_tick < 1:
+            raise ValueError("max_failures_per_tick must be >= 1 (or None)")
+
+    @property
+    def enabled(self) -> bool:
+        """True iff any knob deviates from the fully permissive default."""
+        return (
+            self.backoff > 0
+            or self.failure_threshold is not None
+            or self.max_failures_per_tick is not None
+        )
+
+
+#: The default policy: every gate disabled, behaviour identical to a
+#: registry without fault tolerance (health is still *tracked*).
+PERMISSIVE_POLICY = InvocationPolicy()
+
+
+@dataclass
+class ServiceHealth:
+    """Mutable health record of one service reference."""
+
+    state: HealthState = HealthState.UP
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    fast_failures: int = 0           # refused by a gate, device untouched
+    last_success: int | None = None  # instant of the last device success
+    last_failure: int | None = None  # instant of the last device failure
+    quarantined_at: int | None = None
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (benchmarks and reports)."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "fast_failures": self.fast_failures,
+            "last_success": self.last_success,
+            "last_failure": self.last_failure,
+            "quarantined_at": self.quarantined_at,
+        }
+
+
+@dataclass
+class _TickFailures:
+    """Same-instant failed-attempt counter (for the per-tick cap)."""
+
+    instant: int
+    count: int = 0
+
+
+class HealthTracker:
+    """Per-service health, fed by the registry's invocation outcomes.
+
+    Only *device* outcomes move the state machine: a fast-fail (an
+    invocation refused by a gate) records nothing but a counter, so
+    backoff windows are anchored at real failures and cannot
+    self-perpetuate.
+    """
+
+    def __init__(self, policy: InvocationPolicy | None = None):
+        self.policy = policy if policy is not None else PERMISSIVE_POLICY
+        self._records: dict[str, ServiceHealth] = {}
+        self._tick_failures: dict[str, _TickFailures] = {}
+
+    # -- observation -------------------------------------------------------------
+
+    def health(self, reference: str) -> ServiceHealth:
+        """The (possibly fresh) health record of ``reference``."""
+        record = self._records.get(reference)
+        if record is None:
+            record = self._records[reference] = ServiceHealth()
+        return record
+
+    def state(self, reference: str) -> HealthState:
+        record = self._records.get(reference)
+        return record.state if record is not None else HealthState.UP
+
+    def known(self) -> frozenset[str]:
+        """Every reference with a health record."""
+        return frozenset(self._records)
+
+    def quarantined(self) -> frozenset[str]:
+        """References currently in the QUARANTINED state."""
+        return frozenset(
+            ref
+            for ref, record in self._records.items()
+            if record.state is HealthState.QUARANTINED
+        )
+
+    def snapshot(self) -> dict[str, dict]:
+        """Reference → health view, for diagnostics and differentials."""
+        return {ref: r.snapshot() for ref, r in sorted(self._records.items())}
+
+    # -- gates (consulted before the device is contacted) ------------------------
+
+    def check(self, reference: str, instant: int) -> tuple[str, int | None] | None:
+        """Why an invocation at ``instant`` must fail fast, or None.
+
+        Returns ``(reason, retry_at)`` — matching
+        :class:`~repro.errors.ServiceUnavailableError` — when a gate is
+        closed.  All state-machine gates consult only stamps from
+        instants strictly before ``instant``, keeping invocation outcomes
+        independent of same-instant invocation order.
+        """
+        policy = self.policy
+        record = self._records.get(reference)
+        if record is None:
+            return None
+        if (
+            record.state is HealthState.QUARANTINED
+            and record.quarantined_at is not None
+            and record.quarantined_at < instant
+        ):
+            release = record.quarantined_at + policy.quarantine_backoff
+            if instant < release:
+                return ("quarantined", release)
+        elif (
+            policy.backoff > 0
+            and record.last_failure is not None
+            and record.last_failure < instant
+            and record.consecutive_failures > 0
+        ):
+            retry = record.last_failure + policy.backoff
+            if instant < retry:
+                return ("backoff", retry)
+        if policy.max_failures_per_tick is not None:
+            tick = self._tick_failures.get(reference)
+            if (
+                tick is not None
+                and tick.instant == instant
+                and tick.count >= policy.max_failures_per_tick
+            ):
+                return ("attempt-cap", instant + 1)
+        return None
+
+    def record_fast_failure(self, reference: str) -> None:
+        """A gate refused the invocation; the device was not contacted."""
+        self.health(reference).fast_failures += 1
+
+    # -- device outcomes ---------------------------------------------------------
+
+    def record_success(self, reference: str, instant: int) -> None:
+        record = self._records.get(reference)
+        if record is None:
+            if not self.policy.enabled:
+                # Permissive policy and never-failed service: skip the
+                # record entirely — keeps the hot path allocation-free.
+                return
+            record = self.health(reference)
+        record.total_successes += 1
+        record.consecutive_failures = 0
+        record.last_success = instant
+        if record.state is not HealthState.QUARANTINED:
+            record.state = HealthState.UP
+        else:
+            # A successful probe after the quarantine backoff: recovered.
+            record.state = HealthState.UP
+            record.quarantined_at = None
+
+    def record_failure(self, reference: str, instant: int) -> None:
+        record = self.health(reference)
+        record.total_failures += 1
+        record.consecutive_failures += 1
+        record.last_failure = instant
+        threshold = self.policy.failure_threshold
+        if threshold is not None and record.consecutive_failures >= threshold:
+            if record.state is not HealthState.QUARANTINED:
+                record.state = HealthState.QUARANTINED
+                record.quarantined_at = instant
+            else:
+                # A failed probe re-arms the quarantine window.
+                record.quarantined_at = instant
+        elif record.state is not HealthState.QUARANTINED:
+            record.state = HealthState.SUSPECT
+        if self.policy.max_failures_per_tick is not None:
+            tick = self._tick_failures.get(reference)
+            if tick is None or tick.instant != instant:
+                tick = self._tick_failures[reference] = _TickFailures(instant)
+            tick.count += 1
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def release_due(self, reference: str, instant: int) -> bool:
+        """True iff a quarantined service's backoff has elapsed at
+        ``instant`` (the ERM may re-admit it)."""
+        record = self._records.get(reference)
+        if record is None or record.state is not HealthState.QUARANTINED:
+            return False
+        if record.quarantined_at is None:
+            return True
+        return instant >= record.quarantined_at + self.policy.quarantine_backoff
+
+    def release(self, reference: str) -> None:
+        """Lift a quarantine: the service re-enters on probation
+        (SUSPECT with a clean consecutive-failure count), so a still-
+        broken service trips the threshold again quickly."""
+        record = self._records.get(reference)
+        if record is None:
+            return
+        record.state = HealthState.SUSPECT
+        record.consecutive_failures = 0
+        record.quarantined_at = None
+
+    def forget(self, reference: str) -> None:
+        """Drop the record (service deregistered for good)."""
+        self._records.pop(reference, None)
+        self._tick_failures.pop(reference, None)
+
+    def __repr__(self) -> str:
+        states = {s: 0 for s in HealthState}
+        for record in self._records.values():
+            states[record.state] += 1
+        parts = ", ".join(f"{s.value}={n}" for s, n in states.items() if n)
+        return f"HealthTracker({parts or 'empty'})"

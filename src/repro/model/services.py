@@ -23,8 +23,10 @@ from repro.errors import (
     InvocationError,
     PrototypeNotImplementedError,
     SchemaError,
+    ServiceUnavailableError,
     UnknownServiceError,
 )
+from repro.model.invocation_policy import HealthTracker, InvocationPolicy
 from repro.model.prototypes import Prototype
 
 __all__ = ["Service", "MethodHandler", "ServiceRegistry"]
@@ -102,11 +104,20 @@ class ServiceRegistry:
     set of available services changes over time.
     """
 
-    def __init__(self, services: Iterable[Service] = ()):
+    def __init__(
+        self,
+        services: Iterable[Service] = (),
+        policy: InvocationPolicy | None = None,
+    ):
         self._services: dict[str, Service] = {}
         for service in services:
             self.register(service)
         self._invocation_count = 0
+        #: Per-service health (retry/backoff/quarantine enforcement): fed
+        #: by :meth:`invoke`, consumed by the core ERM's quarantine sweep.
+        #: With the default (permissive) policy no gate ever closes and
+        #: invocation behaviour is identical to a policy-free registry.
+        self.health = HealthTracker(policy)
         # Per-instant invocation memo (see begin_instant_memo): active only
         # inside a PEMS tick, where identical (prototype, service, inputs)
         # calls from different continuous queries are deterministic
@@ -232,10 +243,18 @@ class ServiceRegistry:
                 if cached is not None:
                     self._memo_hits += 1
                     return list(cached)
+        refused = self.health.check(reference, instant)
+        if refused is not None:
+            # The policy fails the invocation fast: the device is not
+            # contacted and the health state machine does not move.
+            reason, retry_at = refused
+            self.health.record_fast_failure(reference)
+            raise ServiceUnavailableError(reference, reason, retry_at)
         self._invocation_count += 1
         try:
             rows = handler(dict(inputs), instant)
         except Exception as exc:
+            self.health.record_failure(reference, instant)
             raise InvocationError(
                 f"invocation of {prototype.name!r} on {reference!r} failed: {exc}"
             ) from exc
@@ -244,10 +263,12 @@ class ServiceRegistry:
             try:
                 results.append(prototype.output_schema.tuple_from_mapping(row))
             except SchemaError as exc:
+                self.health.record_failure(reference, instant)
                 raise InvocationError(
                     f"invocation of {prototype.name!r} on {reference!r} "
                     f"returned an invalid output tuple {row!r}: {exc}"
                 ) from exc
+        self.health.record_success(reference, instant)
         if key is not None and self._memo is not None:
             self._memo[key] = list(results)  # successes only
         return results

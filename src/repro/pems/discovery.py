@@ -19,12 +19,23 @@ the subscriber's job (see :class:`repro.pems.erm.EnvironmentResourceManager`).
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.model.services import Service
 
-__all__ = ["AnnouncementKind", "Announcement", "DiscoveryBus"]
+__all__ = [
+    "AnnouncementKind",
+    "Announcement",
+    "DiscoveryBus",
+    "ANNOUNCEMENT_LOG_SIZE",
+]
+
+#: Retained announcements (diagnostics); mirrors the query processor's
+#: FAILURE_LOG_SIZE.  A long-running PEMS with short leases publishes a
+#: renewal per service every few instants — an unbounded log is a leak.
+ANNOUNCEMENT_LOG_SIZE = 256
 
 
 class AnnouncementKind(enum.Enum):
@@ -51,9 +62,10 @@ Listener = Callable[[Announcement], None]
 class DiscoveryBus:
     """In-process announcement channel between Local ERMs and the core ERM."""
 
-    def __init__(self):
+    def __init__(self, log_size: int = ANNOUNCEMENT_LOG_SIZE):
         self._listeners: list[Listener] = []
-        self._log: list[Announcement] = []
+        self._log: deque[Announcement] = deque(maxlen=log_size)
+        self._published = 0
 
     def subscribe(self, listener: Listener) -> None:
         self._listeners.append(listener)
@@ -63,11 +75,23 @@ class DiscoveryBus:
 
     def publish(self, announcement: Announcement) -> None:
         """Deliver to all subscribers, synchronously and in order."""
+        self._published += 1
         self._log.append(announcement)
         for listener in list(self._listeners):
             listener(announcement)
 
     @property
     def log(self) -> list[Announcement]:
-        """Every announcement ever published (diagnostics and tests)."""
+        """The most recent announcements (diagnostics and tests); at most
+        the configured ``log_size``, oldest dropped first."""
         return list(self._log)
+
+    @property
+    def published_count(self) -> int:
+        """Total announcements ever published (including dropped ones)."""
+        return self._published
+
+    @property
+    def dropped_count(self) -> int:
+        """Announcements evicted from the capped log."""
+        return self._published - len(self._log)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.continuous.time import VirtualClock
+from repro.model.invocation_policy import InvocationPolicy
 from repro.model.prototypes import Prototype
 from repro.model.services import Service, ServiceRegistry
 from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
@@ -23,9 +24,15 @@ __all__ = ["EnvironmentResourceManager", "DiscoveryEvent"]
 
 @dataclass(frozen=True)
 class DiscoveryEvent:
-    """A change in the set of available services."""
+    """A change in the set of available services.
 
-    kind: str  # "appeared" | "left" | "expired"
+    ``kind`` is one of ``"appeared"`` (registered, including re-admission
+    after a quarantine), ``"left"`` (explicit BYE), ``"expired"`` (lease
+    ran out) or ``"quarantined"`` (removed by the fault-tolerance policy
+    after crossing its failure threshold).
+    """
+
+    kind: str  # "appeared" | "left" | "expired" | "quarantined"
     service: Service
     instant: int
 
@@ -38,11 +45,18 @@ class EnvironmentResourceManager:
         bus: DiscoveryBus,
         clock: VirtualClock,
         registry: ServiceRegistry | None = None,
+        policy: InvocationPolicy | None = None,
     ):
         self.bus = bus
         self.clock = clock
-        self.registry = registry if registry is not None else ServiceRegistry()
+        self.registry = (
+            registry if registry is not None else ServiceRegistry(policy=policy)
+        )
         self._expiry: dict[str, int] = {}
+        # Quarantined services, removed from the registry but remembered so
+        # they can be re-admitted once their quarantine backoff elapses:
+        # reference -> (service, lease hint for re-registration).
+        self._parked: dict[str, tuple[Service, int]] = {}
         self._listeners: list[Callable[[DiscoveryEvent], None]] = []
         self._pending: list[tuple[Prototype, str, dict, Callable]] = []
         self._events: list[DiscoveryEvent] = []
@@ -64,6 +78,11 @@ class EnvironmentResourceManager:
         """Currently available services implementing ``prototype``."""
         return self.registry.providers(prototype)
 
+    @property
+    def parked(self) -> frozenset[str]:
+        """References currently quarantined out of the registry."""
+        return frozenset(self._parked)
+
     # -- discovery protocol ----------------------------------------------------------
 
     def _emit(self, kind: str, service: Service) -> None:
@@ -75,6 +94,15 @@ class EnvironmentResourceManager:
     def _on_announcement(self, announcement: Announcement) -> None:
         service = announcement.service
         if announcement.kind is AnnouncementKind.ALIVE:
+            if service.reference in self._parked:
+                # A quarantined service keeps announcing (its Local ERM does
+                # not know about the quarantine): refresh the parked copy and
+                # lease hint, but keep it out of the registry until released.
+                self._parked[service.reference] = (
+                    service,
+                    max(1, announcement.lease),
+                )
+                return
             new = service.reference not in self.registry
             self.registry.register(service)
             self._expiry[service.reference] = (
@@ -83,12 +111,41 @@ class EnvironmentResourceManager:
             if new:
                 self._emit("appeared", service)
         else:  # BYE
+            if service.reference in self._parked:
+                # Deregistered while quarantined: gone for good.
+                del self._parked[service.reference]
+                self.registry.health.forget(service.reference)
+                return
             if service.reference in self.registry:
                 self.registry.unregister(service.reference)
                 self._expiry.pop(service.reference, None)
                 self._emit("left", service)
 
     def _on_tick(self, instant: int) -> None:
+        health = self.registry.health
+        # Quarantine sweep: a service whose failures crossed the policy
+        # threshold is treated like a lease expiry — removed from the
+        # registry (and hence from dynamic XD-Relation extents at the next
+        # discovery sync) and parked for later re-admission.
+        for reference in sorted(health.quarantined()):
+            if reference not in self.registry:
+                continue
+            service = self.registry.get(reference)
+            lease_hint = max(1, self._expiry.get(reference, instant + 1) - instant)
+            self.registry.unregister(reference)
+            self._expiry.pop(reference, None)
+            self._parked[reference] = (service, lease_hint)
+            self._emit("quarantined", service)
+        # Re-admission: once the quarantine backoff elapses, the service
+        # re-enters on probation (SUSPECT with a clean failure count).
+        for reference in sorted(self._parked):
+            if not health.release_due(reference, instant):
+                continue
+            service, lease_hint = self._parked.pop(reference)
+            health.release(reference)
+            self.registry.register(service)
+            self._expiry[reference] = instant + lease_hint
+            self._emit("appeared", service)
         # Reap expired leases (crashed devices, partitioned Local ERMs).
         for reference in sorted(self._expiry):
             if self._expiry[reference] < instant:

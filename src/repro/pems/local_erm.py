@@ -47,6 +47,11 @@ class LocalEnvironmentResourceManager:
         self.clock = clock
         self.lease = lease
         self._services: dict[str, Service] = {}
+        #: reference -> instant of the last ALIVE announcement; renewal
+        #: cadence is anchored here, per registration, not on a global
+        #: ``instant % cadence`` grid (a service registered just after a
+        #: grid boundary with a short lease could expire unrenewed).
+        self._last_announced: dict[str, int] = {}
         self._alive = True
         clock.on_tick(self._on_tick)
 
@@ -63,6 +68,7 @@ class LocalEnvironmentResourceManager:
             service = self._services.pop(reference)
         except KeyError:
             raise UnknownServiceError(reference) from None
+        self._last_announced.pop(reference, None)
         self.bus.publish(
             Announcement(
                 AnnouncementKind.BYE, service, self.name, instant=self.clock.now
@@ -88,10 +94,14 @@ class LocalEnvironmentResourceManager:
     def recover(self) -> None:
         """Come back after a crash; services are re-announced next tick."""
         self._alive = True
+        # Forget renewal anchors so every service re-announces at the next
+        # tick instead of waiting out the remainder of its cadence.
+        self._last_announced.clear()
 
     # -- internals --------------------------------------------------------------------
 
     def _announce(self, service: Service) -> None:
+        self._last_announced[service.reference] = self.clock.now
         self.bus.publish(
             Announcement(
                 AnnouncementKind.ALIVE,
@@ -103,12 +113,14 @@ class LocalEnvironmentResourceManager:
         )
 
     def _on_tick(self, instant: int) -> None:
-        """Renew leases at half-lease cadence (like UPnP re-advertisement)."""
+        """Renew leases at half-lease cadence (like UPnP re-advertisement),
+        anchored at each service's own last announcement."""
         if not self._alive:
             return
         cadence = max(1, self.lease // 2)
-        if instant % cadence == 0:
-            for reference in sorted(self._services):
+        for reference in sorted(self._services):
+            last = self._last_announced.get(reference)
+            if last is None or instant - last >= cadence:
                 self._announce(self._services[reference])
 
     def __repr__(self) -> str:

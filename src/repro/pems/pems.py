@@ -20,6 +20,8 @@ from typing import Callable
 
 from repro.continuous.time import VirtualClock
 from repro.model.environment import PervasiveEnvironment
+from repro.model.invocation_policy import InvocationPolicy
+from repro.model.services import ServiceRegistry
 from repro.pems.discovery import DiscoveryBus
 from repro.pems.erm import EnvironmentResourceManager
 from repro.pems.local_erm import LocalEnvironmentResourceManager
@@ -41,12 +43,19 @@ class PEMS:
     incremental execution with cross-query subplan sharing and the
     quiescence-aware tick scheduler), ``"incremental"`` or ``"naive"``
     (see :mod:`repro.continuous.continuous_query`).
+
+    ``policy`` sets the fault-tolerance :class:`InvocationPolicy` on the
+    service registry (retry backoff, quarantine threshold); the default
+    is fully permissive — every invocation reaches the device, matching
+    a policy-free system (see :mod:`repro.model.invocation_policy`).
     """
 
-    def __init__(self, engine: str = "shared"):
+    def __init__(
+        self, engine: str = "shared", policy: InvocationPolicy | None = None
+    ):
         self.clock = VirtualClock()
         self.bus = DiscoveryBus()
-        self.environment = PervasiveEnvironment()
+        self.environment = PervasiveEnvironment(ServiceRegistry(policy=policy))
         # Construction order fixes tick-listener order (see module doc).
         self.erm = EnvironmentResourceManager(
             self.bus, self.clock, self.environment.registry

@@ -37,11 +37,25 @@ RowBuilder = Callable[[Service], Mapping[str, object]]
 
 @dataclass(frozen=True)
 class QueryFailure:
-    """One continuous-query evaluation failure, captured by the tick loop."""
+    """One continuous-query evaluation failure, captured by the tick loop.
+
+    The live exception object is *not* retained: its traceback frames
+    would pin executor/engine state alive for up to
+    :data:`FAILURE_LOG_SIZE` entries.  Only the exception type, its
+    message and its ``repr`` are stored.
+    """
 
     instant: int
     query_name: str
-    error: Exception
+    error_type: type[BaseException]
+    error_message: str
+    error_repr: str
+
+    @classmethod
+    def from_exception(
+        cls, instant: int, query_name: str, exc: BaseException
+    ) -> "QueryFailure":
+        return cls(instant, query_name, type(exc), str(exc), repr(exc))
 
 
 @dataclass
@@ -298,7 +312,9 @@ class QueryProcessor:
                         if scheduled:
                             self.scheduler.evaluated(name, True)
                 except Exception as exc:
-                    self._failures.append(QueryFailure(instant, name, exc))
+                    self._failures.append(
+                        QueryFailure.from_exception(instant, name, exc)
+                    )
                     if scheduled:
                         self.scheduler.evaluated(name, False)
         finally:

@@ -225,3 +225,77 @@ class TestScheduling:
         items.insert([("fresh", "dev", 9.0)], instant=2)
         assert scheduler.plan(2) == set()
         scheduler.deregister("a")  # idempotent
+
+
+class TestLivenessDowngrade:
+    """A once-live query must leave the live set when its streaming or
+    pending invocations drain — otherwise it is re-evaluated every tick
+    forever, defeating quiescence."""
+
+    def test_async_live_then_drained_then_carried_forward(self):
+        env, items, registry, scheduler = make_rig()
+        q = {
+            "a": add(
+                env, registry, scheduler, "a",
+                prefix(env).invoke("echo", delay=2).query(),
+            )
+        }
+        drive(scheduler, q, 1)                  # requests issued, due at 3
+        assert "a" in drive(scheduler, q, 2)    # in flight: live
+        assert "a" in drive(scheduler, q, 3)    # responses land
+        assert "a" not in drive(scheduler, q, 4)  # drained: carried forward
+        assert q["a"].last_result.instant == 4
+        assert len(q["a"].last_result.relation) == 4
+
+    def test_skip_pending_keeps_query_live(self):
+        """Pinned: on_error="skip" retries an unreachable device every
+        instant while its tuple stays present — the query never quiesces."""
+        env, items, registry, scheduler = make_rig()
+        items.insert([("ghost", "nodev", 9.0)], instant=0)
+        q = {
+            "a": add(
+                env, registry, scheduler, "a",
+                scan(env, "items").invoke("echo", on_error="skip").query(),
+            )
+        }
+        for instant in (1, 2, 3, 4):
+            assert "a" in drive(scheduler, q, instant)
+
+    def test_degrade_parks_and_drains_liveness(self):
+        """on_error="degrade" parks the failed tuple: the query quiesces
+        instead of hammering the dead device."""
+        env, items, registry, scheduler = make_rig()
+        items.insert([("ghost", "nodev", 9.0)], instant=0)
+        q = {
+            "a": add(
+                env, registry, scheduler, "a",
+                scan(env, "items").invoke("echo", on_error="degrade").query(),
+            )
+        }
+        assert "a" in drive(scheduler, q, 1)      # parks the ghost tuple
+        assert "a" not in drive(scheduler, q, 2)  # quiescent
+        assert "a" not in drive(scheduler, q, 3)
+        # The healthy rows were served before parking ever happened.
+        assert len(q["a"].last_result.relation) == 6
+
+    def test_evaluated_failure_recomputes_liveness(self):
+        """Regression: the failure path of evaluated() used to early-return
+        without the liveness downgrade, leaving a drained query in the
+        live set."""
+        env, items, registry, scheduler = make_rig()
+        q = {
+            "a": add(
+                env, registry, scheduler, "a",
+                prefix(env).invoke("echo", delay=2).query(),
+            )
+        }
+        drive(scheduler, q, 1)
+        drive(scheduler, q, 2)
+        drive(scheduler, q, 3)                 # responses landed: drained
+        assert "a" not in scheduler._live
+        scheduler._live.add("a")               # the stale pre-fix state
+        scheduler.evaluated("a", False)        # a failed outcome...
+        assert "a" not in scheduler._live      # ...must also downgrade
+        assert "a" in scheduler._failed
+        scheduler.evaluated("a", True)
+        assert "a" not in scheduler._failed

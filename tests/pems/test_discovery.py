@@ -154,3 +154,91 @@ class TestInvocationViaERM:
         result, error = outcomes[0]
         assert result is None
         assert isinstance(error, UnknownServiceError)
+
+
+class TestLogCap:
+    def test_log_is_bounded(self):
+        bus = DiscoveryBus(log_size=8)
+        service = sensor_service()
+        for i in range(20):
+            bus.publish(
+                Announcement(AnnouncementKind.ALIVE, service, "e", 4, i)
+            )
+        log = bus.log
+        assert len(log) == 8
+        # Oldest dropped first: the retained window is the most recent one.
+        assert [a.instant for a in log] == list(range(12, 20))
+        assert bus.published_count == 20
+        assert bus.dropped_count == 12
+
+    def test_default_cap_mirrors_failure_log_size(self):
+        from repro.pems.discovery import ANNOUNCEMENT_LOG_SIZE
+        from repro.pems.query_processor import FAILURE_LOG_SIZE
+
+        assert ANNOUNCEMENT_LOG_SIZE == FAILURE_LOG_SIZE
+        bus = DiscoveryBus()
+        service = sensor_service()
+        for i in range(ANNOUNCEMENT_LOG_SIZE + 10):
+            bus.publish(
+                Announcement(AnnouncementKind.ALIVE, service, "e", 4, i)
+            )
+        assert len(bus.log) == ANNOUNCEMENT_LOG_SIZE
+        assert bus.dropped_count == 10
+
+    def test_long_run_does_not_accumulate(self, rig):
+        """Regression: a long-running PEMS with short leases used to
+        retain every renewal ever published."""
+        clock, bus, erm, local = rig
+        local.register(sensor_service())
+        clock.run(1000)  # ~500 renewals at cadence 2
+        assert len(bus.log) <= 256
+        assert bus.dropped_count > 0
+
+
+class TestRenewalAnchoring:
+    def test_mid_cadence_registration_with_short_lease_survives(self):
+        """Regression: with lease=2 (cadence 1) anchored on the global
+        grid this passed, but with lease=4 (cadence 2) a service
+        registered on an odd instant waited until the next even instant —
+        under lease=2 the equivalent off-grid registration could expire
+        before its first renewal.  Anchoring is per registration instant."""
+        clock = VirtualClock()
+        bus = DiscoveryBus()
+        erm = EnvironmentResourceManager(bus, clock, ServiceRegistry())
+        local = LocalEnvironmentResourceManager("floor-1", bus, clock, lease=2)
+        clock.tick()  # now = 1: mid-cadence for any grid anchored at 0
+        local.register(sensor_service())
+        for _ in range(10):
+            clock.tick()
+            assert "sensor01" in erm.registry  # never expires while renewed
+
+    def test_renewals_follow_registration_anchor(self):
+        clock = VirtualClock()
+        bus = DiscoveryBus()
+        EnvironmentResourceManager(bus, clock, ServiceRegistry())
+        local = LocalEnvironmentResourceManager("floor-1", bus, clock, lease=6)
+        clock.run(3)  # register at instant 3; cadence is 3
+        local.register(sensor_service())
+        clock.run(7)
+        renewals = [
+            a.instant
+            for a in bus.log
+            if a.kind is AnnouncementKind.ALIVE
+            and a.service.reference == "sensor01"
+        ]
+        assert renewals == [3, 6, 9]  # anchored at 3, not at the 0-grid
+
+    def test_recover_reannounces_next_tick(self):
+        """The recover() docstring promises next-tick re-announcement;
+        the global grid used to delay it to the next cadence boundary."""
+        clock = VirtualClock()
+        bus = DiscoveryBus()
+        erm = EnvironmentResourceManager(bus, clock, ServiceRegistry())
+        local = LocalEnvironmentResourceManager("floor-1", bus, clock, lease=6)
+        local.register(sensor_service())
+        local.crash()
+        clock.run(8)  # lease expired, reaped
+        assert "sensor01" not in erm.registry
+        local.recover()
+        clock.tick()  # next tick, whatever the cadence grid says
+        assert "sensor01" in erm.registry

@@ -36,8 +36,38 @@ class TestFailureIsolation:
         failures = pems.queries.failures
         assert len(failures) == 3
         assert all(f.query_name == "bad" for f in failures)
-        assert all(isinstance(f.error, UnknownServiceError) for f in failures)
+        assert all(f.error_type is UnknownServiceError for f in failures)
+        assert all("ghost" in f.error_message for f in failures)
+        assert all("UnknownServiceError" in f.error_repr for f in failures)
         assert pems.clock.now == 3  # the clock kept running
+
+    def test_retained_failure_does_not_pin_executor_state(self, pems):
+        """A QueryFailure must not keep the failed query's executors alive:
+        storing the live exception would pin them through its traceback
+        frames for up to FAILURE_LOG_SIZE entries."""
+        import gc
+        import weakref
+
+        bad = pems.queries.register_continuous(
+            scan(pems.environment, "sensors")
+            .invoke("getTemperature", on_error="raise")
+            .query(),
+            name="bad",
+        )
+        pems.run(1)
+        (failure,) = pems.queries.failures
+        executor_refs = [weakref.ref(e) for e in bad.executors()]
+        assert executor_refs
+        pems.queries.deregister_continuous("bad")
+        del bad
+        gc.collect()
+        # The failure record is still retained, yet no executor survives —
+        # i.e. the record holds no live exception/traceback referring back
+        # into the engine.
+        assert pems.queries.failures == [failure]
+        assert all(ref() is None for ref in executor_refs)
+        referrers = gc.get_referrers(failure)
+        assert all(not isinstance(r, BaseException) for r in referrers)
 
     def test_other_queries_keep_evaluating(self, pems):
         pems.queries.register_continuous(
