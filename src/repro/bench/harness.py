@@ -3,8 +3,11 @@
 Drives a scenario's clock for a number of instants while sampling:
 
 * wall-clock latency per tick (the cost of one full PEMS cycle: stream
-  ingestion + discovery sync + continuous query evaluation),
-* service invocations performed (from the registry counter),
+  ingestion + discovery sync + continuous query evaluation) — read from
+  the PEMS observability facade's exact per-tick samples when metrics are
+  on, or timed locally when they are off,
+* service invocations performed and per-instant memo hits (from the
+  registry's metrics-backed counters),
 * stream tuples produced and messages sent.
 
 Results come back as a :class:`RunStats` with simple percentile helpers,
@@ -29,6 +32,7 @@ class RunStats:
     instants: int
     tick_seconds: list[float] = field(default_factory=list)
     invocations: int = 0
+    memo_hits: int = 0
     stream_tuples: int = 0
     messages: int = 0
     actions: int = 0
@@ -81,13 +85,33 @@ def measure_run(
     actions_before = sum(
         len(cq.action_log) for cq in scenario.queries.values()
     )
+    memo_before = registry.memo_hits
 
-    for _ in range(instants):
-        started = time.perf_counter()
-        scenario.pems.tick()
-        stats.tick_seconds.append(time.perf_counter() - started)
+    # With metrics on, PEMS.tick already records exact per-tick seconds in
+    # the observability facade's bounded sample ring: read those instead of
+    # double-timing.  Fall back to local timing when observability is off
+    # or the run would overflow the ring.
+    obs = getattr(scenario.pems, "obs", None)
+    from_obs = (
+        obs is not None
+        and obs.metrics_on
+        and obs.tick_samples.maxlen is not None
+        and instants <= obs.tick_samples.maxlen
+    )
+    if from_obs:
+        samples_before = obs.tick_samples_total
+        for _ in range(instants):
+            scenario.pems.tick()
+        recorded = obs.tick_samples_total - samples_before
+        stats.tick_seconds = list(obs.tick_samples)[-recorded:]
+    else:
+        for _ in range(instants):
+            started = time.perf_counter()
+            scenario.pems.tick()
+            stats.tick_seconds.append(time.perf_counter() - started)
 
     stats.invocations = registry.invocation_count
+    stats.memo_hits = registry.memo_hits - memo_before
     stats.stream_tuples = (len(stream) - tuples_before) if stream is not None else 0
     stats.messages = len(scenario.outbox) - messages_before
     stats.actions = (

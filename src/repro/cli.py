@@ -18,6 +18,14 @@ Run ``python -m repro`` for an interactive session, or
   ``.result <name>``        last result of a continuous query
   ``.actions <name>``       cumulative action set of a continuous query
   ``.explain SELECT ...``   the compiled plan of a SQL query
+  ``.explain physical ...`` the lowered physical plan (executor classes,
+                            shared/private markers)
+  ``.analyze [name]``       EXPLAIN ANALYZE of registered continuous
+                            queries: per-executor cumulative run stats
+  ``.metrics [json]``       the metrics registry (Prometheus text, or a
+                            JSON snapshot with ``json``)
+  ``.trace [n|json]``       the last n recorded tick-trace spans
+                            (requires ``observe="full"``)
   ``.profile SELECT ...``   run the query; per-operator tuple counts
   ``.optimize SELECT ...``  the plan before/after cost-based optimization
   ``.stats``                relation cardinalities and distinct counts
@@ -64,6 +72,9 @@ class SerenaShell:
             "result": self._cmd_result,
             "actions": self._cmd_actions,
             "explain": self._cmd_explain,
+            "analyze": self._cmd_analyze,
+            "metrics": self._cmd_metrics,
+            "trace": self._cmd_trace,
             "profile": self._cmd_profile,
             "optimize": self._cmd_optimize,
             "stats": self._cmd_stats,
@@ -187,10 +198,82 @@ class SerenaShell:
         self._print(actions.describe() if actions else "(no actions yet)")
 
     def _cmd_explain(self, argument: str) -> None:
-        from repro.lang.printer import explain
+        from repro.lang.printer import explain, explain_physical
 
+        physical = False
+        head, _, rest = argument.partition(" ")
+        if head.lower() == "physical":
+            physical = True
+            argument = rest.strip()
+        if not argument:
+            self._print("usage: .explain [physical] SELECT ...")
+            return
         query = compile_sql(argument.rstrip(";"), self.pems.environment)
-        self._print(explain(query))
+        if physical:
+            self._print(explain_physical(query, self.pems.queries.shared))
+        else:
+            self._print(explain(query))
+
+    def _cmd_analyze(self, argument: str) -> None:
+        from repro.lang.printer import explain_analyze
+
+        queries = self.pems.queries.continuous_queries
+        if argument:
+            names = [argument]
+        elif queries:
+            names = sorted(queries)
+        else:
+            self._print("(no continuous queries registered)")
+            return
+        for position, name in enumerate(names):
+            if position:
+                self._print()
+            continuous = self.pems.queries.continuous_query(name)
+            self._print(explain_analyze(continuous))
+
+    def _cmd_metrics(self, argument: str) -> None:
+        if argument.lower() == "json":
+            import json
+
+            self._print(json.dumps(self.pems.obs.snapshot(), indent=2))
+            return
+        if argument:
+            self._print("usage: .metrics [json]")
+            return
+        self._print(self.pems.obs.to_prometheus().rstrip("\n"))
+
+    def _cmd_trace(self, argument: str) -> None:
+        tracer = self.pems.obs.tracer
+        if not tracer.enabled:
+            self._print(
+                "(tracing is off — construct PEMS with observe='full')"
+            )
+            return
+        if argument.lower() == "json":
+            self._print(tracer.export_jsonl().rstrip("\n"))
+            return
+        try:
+            count = int(argument) if argument else 20
+        except ValueError:
+            self._print("usage: .trace [n|json]")
+            return
+        spans = tracer.recent(count)
+        if not spans:
+            self._print("(no spans recorded yet — .tick first)")
+            return
+        depths: dict[int, int] = {}
+        for span in spans:
+            parent_depth = depths.get(span.parent_id)
+            depth = 0 if parent_depth is None else parent_depth + 1
+            depths[span.span_id] = depth
+            attributes = " ".join(
+                f"{key}={value}" for key, value in span.attributes.items()
+            )
+            line = (
+                f"{'  ' * depth}τ={span.instant} {span.name} "
+                f"{span.duration * 1000:.3f}ms"
+            )
+            self._print(f"{line}  {attributes}" if attributes else line)
 
     def _cmd_profile(self, argument: str) -> None:
         query = compile_sql(argument.rstrip(";"), self.pems.environment)

@@ -41,6 +41,7 @@ from repro.exec.delta import EMPTY_DELTA, Delta
 from repro.exec.engine import IncrementalEngine
 from repro.exec.shared import SharedEngine, SharedPlanRegistry
 from repro.model.environment import PervasiveEnvironment
+from repro.obs.observe import Observability
 
 __all__ = ["ContinuousQuery"]
 
@@ -61,6 +62,7 @@ class ContinuousQuery:
         keep_history: bool = False,
         engine: str = "incremental",
         shared: SharedPlanRegistry | None = None,
+        observe: "Observability | str | None" = None,
     ):
         if engine not in _ENGINES:
             raise SerenaError(
@@ -70,12 +72,21 @@ class ContinuousQuery:
         self.query = query
         self.environment = environment
         self.engine = engine
+        #: Observability facade shared with the physical engine (the PEMS
+        #: query processor passes its environment-wide one).
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
         if engine == "incremental":
-            self._engine = IncrementalEngine(query, environment)
+            self._engine = IncrementalEngine(query, environment, observe=self.obs)
         elif engine == "shared":
             # Without a caller-supplied registry the query gets a private
             # one: correct, just with nothing to share against.
-            self._engine = SharedEngine(query, environment, shared)
+            self._engine = SharedEngine(
+                query, environment, shared, observe=self.obs
+            )
         else:
             self._engine = None
         self._states: dict[int, dict[str, Any]] = {}

@@ -273,6 +273,7 @@ def build_temperature_surveillance(
     policy: InvocationPolicy | None = None,
     sensor_faults: dict[str, FaultScript] | None = None,
     fault_seed: object = "chaos",
+    observe: object = None,
 ) -> Scenario:
     """Assemble the full temperature surveillance environment.
 
@@ -300,9 +301,10 @@ def build_temperature_surveillance(
     sensors are wrapped in a :class:`~repro.devices.faults.FaultInjector`
     (seeded with ``fault_seed``) before registration, so the scripted
     chaos flows through the same discovery/invocation path as the §5.2
-    ``messenger_failure_rate`` flakiness.
+    ``messenger_failure_rate`` flakiness.  ``observe`` sets the
+    observability mode (see :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS(engine=engine, policy=policy)
+    pems = PEMS(engine=engine, policy=policy, observe=observe)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)
@@ -442,6 +444,7 @@ def build_rss_scenario(
     seed: int = 0,
     engine: str = "incremental",
     policy: InvocationPolicy | None = None,
+    observe: object = None,
 ) -> Scenario:
     """Assemble the RSS experiment: feeds → news stream → keyword query.
 
@@ -453,7 +456,7 @@ def build_rss_scenario(
     ``engine`` selects the continuous-query execution engine (see
     :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS(engine=engine, policy=policy)
+    pems = PEMS(engine=engine, policy=policy, observe=observe)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)

@@ -22,6 +22,7 @@ from repro.exec.executors import Executor
 from repro.exec.lowering import lower
 from repro.model.environment import PervasiveEnvironment
 from repro.model.relation import XRelation
+from repro.obs.observe import Observability
 
 __all__ = ["IncrementalEngine"]
 
@@ -29,7 +30,12 @@ __all__ = ["IncrementalEngine"]
 class IncrementalEngine:
     """Delta-driven execution of one continuous query."""
 
-    def __init__(self, query: Query, environment: PervasiveEnvironment):
+    def __init__(
+        self,
+        query: Query,
+        environment: PervasiveEnvironment,
+        observe: "Observability | str | None" = None,
+    ):
         self.query = query
         self.environment = environment
         #: The physical plan (one executor per logical node, shared nodes
@@ -40,6 +46,16 @@ class IncrementalEngine:
         # state store.
         self._states: dict[int, dict] = {}
         self._relation: XRelation | None = None
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        self._materializations_total = self.obs.metrics.counter(
+            "serena_materializations_total",
+            "Root X-Relations rebuilt because the tick's delta was non-empty",
+            engine="incremental",
+        )
 
     def tick(self, instant: int) -> QueryResult:
         """Advance every executor to ``instant`` and materialize the
@@ -53,6 +69,8 @@ class IncrementalEngine:
             self._relation = XRelation(
                 self.query.schema, frozenset(self.root.current), validated=True
             )
+            if self.obs.metrics_on:
+                self._materializations_total.inc()
         return QueryResult(self._relation, ctx.action_set, instant)
 
     @property

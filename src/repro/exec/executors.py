@@ -36,11 +36,17 @@ from repro.algebra.operators.scan import BaseRelation, Scan
 from repro.algebra.operators.stream_invocation import StreamingInvocation
 from repro.algebra.operators.streaming import Streaming, StreamType
 from repro.algebra.operators.window import Window
-from repro.errors import InvalidOperatorError, SerenaError, ServiceError
+from repro.errors import (
+    InvalidOperatorError,
+    SerenaError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.exec.delta import EMPTY_DELTA, Delta
 from repro.model.relation import XRelation
 
 __all__ = [
+    "ExecStats",
     "Executor",
     "ScanExec",
     "BaseRelationExec",
@@ -63,6 +69,54 @@ __all__ = [
 _EMPTY: frozenset[tuple] = frozenset()
 
 
+class ExecStats:
+    """Cumulative per-executor counters, updated on every tick.
+
+    Always on: each field is a plain integer bumped on the hot path (no
+    registry lookups), cheap enough that EXPLAIN ANALYZE needs no arming
+    step — the counts cover the executor's whole life.  ``input_*`` counts
+    the delta tuples the node consumed from its children, ``output_*`` the
+    change delta it published; the invocation fields are only meaningful
+    on β/β∞ executors, ``rows_scanned`` on scans.
+    """
+
+    __slots__ = (
+        "ticks",
+        "input_inserted",
+        "input_deleted",
+        "output_inserted",
+        "output_deleted",
+        "rows_scanned",
+        "invocations",
+        "memo_hits",
+        "fast_failures",
+        "failures",
+    )
+
+    def __init__(self):
+        self.ticks = 0
+        self.input_inserted = 0
+        self.input_deleted = 0
+        self.output_inserted = 0
+        self.output_deleted = 0
+        self.rows_scanned = 0
+        self.invocations = 0
+        self.memo_hits = 0
+        self.fast_failures = 0
+        self.failures = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in self.__slots__
+            if getattr(self, name)
+        )
+        return f"ExecStats({parts})"
+
+
 class Executor:
     """Base class: per-instant advancement with memoization.
 
@@ -79,6 +133,8 @@ class Executor:
         self.children = tuple(children)
         #: The maintained instantaneous result (tuples over node.schema).
         self.current: set[tuple] = set()
+        #: Always-on cumulative counters (EXPLAIN ANALYZE reads these).
+        self.stats = ExecStats()
         self._instant: int | None = None
         self._change: Delta = EMPTY_DELTA
         self._reported: Delta = EMPTY_DELTA
@@ -100,6 +156,10 @@ class Executor:
         assert change.deleted <= self.current, "delete of absent tuple"
         self.current |= change.inserted
         self.current -= change.deleted
+        stats = self.stats
+        stats.ticks += 1
+        stats.output_inserted += len(change.inserted)
+        stats.output_deleted += len(change.deleted)
         self._instant = ctx.instant
         self._change = change
         self._reported = change if reported is None else reported
@@ -144,7 +204,9 @@ class Executor:
         have produced."""
         delta = child.tick(ctx)
         if self.is_first_tick:
-            return Delta(child.fresh_view(), _EMPTY)
+            delta = Delta(child.fresh_view(), _EMPTY)
+        self.stats.input_inserted += len(delta.inserted)
+        self.stats.input_deleted += len(delta.deleted)
         return delta
 
     def _advance(self, ctx: EvaluationContext):
@@ -227,6 +289,7 @@ class ScanExec(Executor):
             return EMPTY_DELTA  # static relation, same object: nothing moved
         if rebase or not journaled:
             new = ctx.environment.instantaneous(node.name, ctx.instant).tuples
+            self.stats.rows_scanned += len(new)
             change = Delta(
                 frozenset(new - self.current), frozenset(self.current - new)
             )
@@ -254,6 +317,7 @@ class ScanExec(Executor):
         removed: set[tuple] = set()
         start = self._consumed if self._consumed is not None else 0
         for _, inserted, deleted in stored.changes_between(start, instant):  # type: ignore[attr-defined]
+            self.stats.rows_scanned += len(inserted) + len(deleted)
             for t in inserted:
                 if t in removed:
                     removed.discard(t)
@@ -677,6 +741,8 @@ class InvocationExec(Executor):
 
         if self._pending:
             bp = node.binding_pattern
+            registry = ctx.environment.registry
+            stats = self.stats
             asynchronous = node.delay > 0 and ctx.continuous
             for t in sorted(self._pending):
                 if asynchronous:
@@ -688,11 +754,17 @@ class InvocationExec(Executor):
                     n: t[p]
                     for n, p in zip(self._input_names, self._input_positions)
                 }
+                memo_before = registry.memo_hits
                 try:
-                    results = ctx.environment.registry.invoke(
+                    results = registry.invoke(
                         bp.prototype, reference, inputs, ctx.instant
                     )
-                except ServiceError:
+                except ServiceError as exc:
+                    stats.invocations += 1
+                    if isinstance(exc, ServiceUnavailableError):
+                        stats.fast_failures += 1
+                    else:
+                        stats.failures += 1
                     if node.on_error == "skip":
                         # Dropped request: the tuple stays pending (sync:
                         # retried next instant; async: re-scheduled with
@@ -705,6 +777,9 @@ class InvocationExec(Executor):
                         self._parked.add(t)
                         continue
                     raise
+                stats.invocations += 1
+                if registry.memo_hits > memo_before:
+                    stats.memo_hits += 1
                 rows = self._rows(t, results)
                 self._cache[t] = rows
                 self._pending.discard(t)
@@ -754,8 +829,12 @@ class StreamingInvocationExec(Executor):
     def _advance(self, ctx: EvaluationContext):
         node = self.node
         (child,) = self.children
-        child.tick(ctx)
+        child_delta = child.tick(ctx)
+        stats = self.stats
+        stats.input_inserted += len(child_delta.inserted)
+        stats.input_deleted += len(child_delta.deleted)
         bp = node.binding_pattern
+        registry = ctx.environment.registry
         emitted: set[tuple] = set()
         for t in child.current:
             reference = t[self._service_position]
@@ -763,17 +842,26 @@ class StreamingInvocationExec(Executor):
                 n: t[p]
                 for n, p in zip(self._input_names, self._input_positions)
             }
+            memo_before = registry.memo_hits
             try:
-                results = ctx.environment.registry.invoke(
+                results = registry.invoke(
                     bp.prototype, reference, inputs, ctx.instant
                 )
-            except ServiceError:
+            except ServiceError as exc:
+                stats.invocations += 1
+                if isinstance(exc, ServiceUnavailableError):
+                    stats.fast_failures += 1
+                else:
+                    stats.failures += 1
                 if node.on_error in ("skip", "degrade"):
                     # β∞ re-invokes every tuple each instant anyway, so
                     # degrade has nothing to park: the reading is simply
                     # absent from this instant's emission (same as skip).
                     continue
                 raise
+            stats.invocations += 1
+            if registry.memo_hits > memo_before:
+                stats.memo_hits += 1
             for output in results:
                 row = []
                 for kind, position in self._out_sources:
@@ -829,6 +917,8 @@ class StreamingExec(Executor):
         (child,) = self.children
         child_was_fresh = child.is_first_tick
         child.tick(ctx)
+        self.stats.input_inserted += len(child.reported.inserted)
+        self.stats.input_deleted += len(child.reported.deleted)
         synthesize = (
             self.is_first_tick
             and not child_was_fresh
@@ -873,6 +963,8 @@ class WindowExec(Executor):
         (child,) = self.children
         child_was_fresh = child.is_first_tick
         child.tick(ctx)
+        self.stats.input_inserted += len(child.reported.inserted)
+        self.stats.input_deleted += len(child.reported.deleted)
         if self._journal_mode is None:
             self._journal_mode = self._detect_journal(ctx)
         touched: set[tuple] = set()

@@ -31,6 +31,7 @@ from repro.algebra.operators.scan import Scan
 from repro.errors import SerenaError
 from repro.exec.executors import InvocationExec
 from repro.model.environment import PervasiveEnvironment
+from repro.obs.observe import Observability
 
 __all__ = ["TickScheduler"]
 
@@ -54,8 +55,32 @@ def _plan_dependencies(node: Operator) -> tuple[frozenset[str], frozenset[str]]:
 class TickScheduler:
     """Decides, per instant, which scheduled queries must be evaluated."""
 
-    def __init__(self, environment: PervasiveEnvironment):
+    def __init__(
+        self,
+        environment: PervasiveEnvironment,
+        observe: "Observability | str | None" = None,
+    ):
         self.environment = environment
+        #: Observability facade (the query processor passes the PEMS-wide
+        #: one); the evaluation/skip counters are backed by it.
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        metrics = self.obs.metrics
+        self._evaluations_total = metrics.counter(
+            "serena_query_evaluations_total",
+            "Continuous-query evaluations the scheduler could not skip",
+        )
+        self._skips_total = metrics.counter(
+            "serena_query_skips_total",
+            "Quiescent evaluations carried forward in O(1)",
+        )
+        self._scheduled_gauge = metrics.gauge(
+            "serena_queries_scheduled",
+            "Continuous queries currently indexed by the tick scheduler",
+        )
         #: relation name → names of queries scanning it.
         self._rel_index: dict[str, set[str]] = {}
         #: prototype name → names of queries invoking it.
@@ -71,8 +96,18 @@ class TickScheduler:
         self._static_live: set[str] = set()
         #: query name → its private invocation executors (dynamic liveness).
         self._dynamic: dict[str, tuple[InvocationExec, ...]] = {}
-        self.evaluations = 0
-        self.skips = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Total evaluations recorded (backed by
+        ``serena_query_evaluations_total``)."""
+        return int(self._evaluations_total.value)
+
+    @property
+    def skips(self) -> int:
+        """Total carried-forward evaluations (backed by
+        ``serena_query_skips_total``)."""
+        return int(self._skips_total.value)
 
     def __contains__(self, name: object) -> bool:
         return name in self._deps
@@ -115,6 +150,7 @@ class TickScheduler:
             ):
                 self._static_live.add(name)
         self._fresh.add(name)
+        self._scheduled_gauge.set(len(self._deps))
 
     def deregister(self, name: str) -> None:
         deps = self._deps.pop(name, None)
@@ -143,6 +179,7 @@ class TickScheduler:
         ):
             group.discard(name)
         self._dynamic.pop(name, None)
+        self._scheduled_gauge.set(len(self._deps))
 
     # -- change detection --------------------------------------------------------
 
@@ -186,7 +223,7 @@ class TickScheduler:
         if name not in self._deps:
             return
         self._fresh.discard(name)
-        self.evaluations += 1
+        self._evaluations_total.inc()
         if not ok:
             # Failed queries retry every instant — the naive engine logs
             # one failure per tick while the cause persists, and so do we.
@@ -208,4 +245,4 @@ class TickScheduler:
 
     def skipped(self, name: str) -> None:
         """Record one carried-forward (skipped) evaluation."""
-        self.skips += 1
+        self._skips_total.inc()

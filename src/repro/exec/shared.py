@@ -56,6 +56,7 @@ from repro.exec.executors import Executor, FallbackExec, ScanExec
 from repro.exec.lowering import _LOWERINGS
 from repro.model.environment import PervasiveEnvironment
 from repro.model.relation import XRelation
+from repro.obs.observe import Observability
 
 __all__ = ["SharedPlanRegistry", "SharedPlan", "SharedEngine"]
 
@@ -86,9 +87,41 @@ class SharedPlanRegistry:
     parent entry can never outlive its children.
     """
 
-    def __init__(self, environment: PervasiveEnvironment):
+    def __init__(
+        self,
+        environment: PervasiveEnvironment,
+        observe: "Observability | str | None" = None,
+    ):
         self.environment = environment
         self._entries: dict[Operator, _Entry] = {}
+        #: Observability facade (the query processor passes the PEMS-wide
+        #: one); standalone registries default to "off".
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        metrics = self.obs.metrics
+        self._lease_hits_total = metrics.counter(
+            "serena_shared_lease_hits_total",
+            "Subtree leases satisfied by an already-lowered shared executor",
+        )
+        self._lease_misses_total = metrics.counter(
+            "serena_shared_lease_misses_total",
+            "Subtree leases that lowered a new shared executor",
+        )
+        self._subplans_gauge = metrics.gauge(
+            "serena_shared_subplans",
+            "Distinct shared subtrees currently live in the registry",
+        )
+        self._refcount_gauge = metrics.gauge(
+            "serena_shared_refcount_total",
+            "Sum of refcounts over all live shared subtrees",
+        )
+
+    def _sync_gauges(self) -> None:
+        self._subplans_gauge.set(len(self._entries))
+        self._refcount_gauge.set(self.total_refcount)
 
     # -- introspection -----------------------------------------------------------
 
@@ -172,16 +205,19 @@ class SharedPlanRegistry:
     ) -> Executor:
         entry = self._entries.get(node)
         if entry is None:
+            self._lease_misses_total.inc()
             children = [self._lease(c, leased) for c in node.children]
             executor = _LOWERINGS[type(node)](node, *children)
             entry = _Entry(executor, _digest(node))
             self._entries[node] = entry
         else:
+            self._lease_hits_total.inc()
             for child in node.children:  # keep descendant refcounts symmetric
                 self._lease(child, leased)
         if node not in leased:
             entry.refcount += 1
             leased[node] = None
+        self._sync_gauges()
         return entry.executor
 
     def _release(self, leases: tuple[Operator, ...]) -> None:
@@ -192,6 +228,7 @@ class SharedPlanRegistry:
             entry.refcount -= 1
             if entry.refcount <= 0:
                 del self._entries[node]
+        self._sync_gauges()
 
 
 class SharedPlan:
@@ -272,9 +309,10 @@ class SharedEngine:
         query: Query,
         environment: PervasiveEnvironment,
         registry: SharedPlanRegistry | None = None,
+        observe: "Observability | str | None" = None,
     ):
         if registry is None:
-            registry = SharedPlanRegistry(environment)
+            registry = SharedPlanRegistry(environment, observe=observe)
         elif registry.environment is not environment:
             raise SerenaError(
                 "shared-plan registry belongs to a different environment"
@@ -282,6 +320,16 @@ class SharedEngine:
         self.query = query
         self.environment = environment
         self.registry = registry
+        self.obs = (
+            registry.obs
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        self._materializations_total = self.obs.metrics.counter(
+            "serena_materializations_total",
+            "Root X-Relations rebuilt because the tick's delta was non-empty",
+            engine="shared",
+        )
         self.plan = registry.acquire(query)
         self.root: Executor = self.plan.root
         # Private per-node state for naive-evaluated fallback subtrees.
@@ -302,6 +350,8 @@ class SharedEngine:
             self._relation = XRelation(
                 self.query.schema, tuples, validated=True
             )
+            if self.obs.metrics_on:
+                self._materializations_total.inc()
             if isinstance(self.root, ScanExec) and self.root.journaled:
                 self._synth_reported = None  # journal delta is already right
             else:
@@ -317,6 +367,8 @@ class SharedEngine:
                     frozenset(self.root.current),
                     validated=True,
                 )
+                if self.obs.metrics_on:
+                    self._materializations_total.inc()
             self._resync = False
             self._synth_reported = None
         self._first = False

@@ -9,6 +9,13 @@ Two renderings:
 * :func:`explain` — a multi-line, indented operator tree annotated with
   each node's output schema (virtual attributes starred) — the
   EXPLAIN-style output used in examples and docs;
+* :func:`explain_physical` — the *lowered* physical plan of a logical
+  query: executor classes plus shared/private markers against a
+  shared-plan registry;
+* :func:`explain_analyze` — EXPLAIN ANALYZE: a registered continuous
+  query's physical plan annotated with the cumulative per-executor run
+  statistics (delta cardinalities, rows scanned, invocation outcomes,
+  shared refcounts — see :mod:`repro.obs.analyze`);
 * :func:`to_dot` — a Graphviz digraph of the plan (one node per operator,
   labeled with its symbol and output schema) for papers and slides.
 """
@@ -18,7 +25,14 @@ from __future__ import annotations
 from repro.algebra.operators.base import Operator
 from repro.algebra.query import Query
 
-__all__ = ["to_sal", "to_math", "explain", "to_dot"]
+__all__ = [
+    "to_sal",
+    "to_math",
+    "explain",
+    "explain_analyze",
+    "explain_physical",
+    "to_dot",
+]
 
 
 def _root(plan: Operator | Query) -> Operator:
@@ -44,6 +58,24 @@ def explain(plan: Operator | Query) -> str:
     lines: list[str] = []
     _explain(_root(plan), 0, lines)
     return "\n".join(lines)
+
+
+def explain_analyze(continuous) -> str:
+    """EXPLAIN ANALYZE of a registered
+    :class:`~repro.continuous.continuous_query.ContinuousQuery`: its
+    physical plan with cumulative per-executor statistics."""
+    from repro.obs.analyze import render_analyze  # obs layers under lang
+
+    return render_analyze(continuous)
+
+
+def explain_physical(plan: Operator | Query, registry=None) -> str:
+    """The lowered physical plan of a logical query: executor classes,
+    with subtrees marked shared when ``registry`` (a
+    :class:`~repro.exec.shared.SharedPlanRegistry`) already runs them."""
+    from repro.obs.analyze import render_physical
+
+    return render_physical(plan, registry)
 
 
 def to_dot(plan: Operator | Query, name: str = "plan") -> str:

@@ -26,8 +26,9 @@ from repro.errors import (
     ServiceUnavailableError,
     UnknownServiceError,
 )
-from repro.model.invocation_policy import HealthTracker, InvocationPolicy
+from repro.model.invocation_policy import HealthState, HealthTracker, InvocationPolicy
 from repro.model.prototypes import Prototype
+from repro.obs.observe import Observability
 
 __all__ = ["Service", "MethodHandler", "ServiceRegistry"]
 
@@ -108,11 +109,21 @@ class ServiceRegistry:
         self,
         services: Iterable[Service] = (),
         policy: InvocationPolicy | None = None,
+        observe: "Observability | str | None" = None,
     ):
         self._services: dict[str, Service] = {}
         for service in services:
             self.register(service)
-        self._invocation_count = 0
+        #: Observability facade: a standalone registry defaults to the
+        #: "off" mode (the migrated legacy counters — invocation count,
+        #: memo hits — still record); PEMS rebinds the registry onto its
+        #: environment-wide facade via :meth:`bind_observability`.
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        self._init_instruments()
         #: Per-service health (retry/backoff/quarantine enforcement): fed
         #: by :meth:`invoke`, consumed by the core ERM's quarantine sweep.
         #: With the default (permissive) policy no gate ever closes and
@@ -124,7 +135,44 @@ class ServiceRegistry:
         # duplicates (Section 3.2) and hit the device once.
         self._memo: dict[tuple, list[tuple]] | None = None
         self._memo_instant: int | None = None
-        self._memo_hits = 0
+
+    def _init_instruments(self) -> None:
+        metrics = self.obs.metrics
+        self._invocations_total = metrics.counter(
+            "serena_invocations_total",
+            "Device invocations issued (memo hits and fast failures excluded)",
+        )
+        self._memo_hits_total = metrics.counter(
+            "serena_invocation_memo_hits_total",
+            "Invocations answered from the per-instant memo instead of the device",
+        )
+        outcome_help = "Invocation attempts by outcome"
+        self._outcome_success = metrics.counter(
+            "serena_invocation_outcomes_total", outcome_help, outcome="success"
+        )
+        self._outcome_memo_hit = metrics.counter(
+            "serena_invocation_outcomes_total", outcome_help, outcome="memo_hit"
+        )
+        self._outcome_fast_failed = metrics.counter(
+            "serena_invocation_outcomes_total", outcome_help, outcome="fast_failed"
+        )
+        self._outcome_failed = metrics.counter(
+            "serena_invocation_outcomes_total", outcome_help, outcome="failed"
+        )
+
+    def bind_observability(self, observe: "Observability | str | None") -> None:
+        """Re-home this registry's instruments onto another facade (PEMS
+        binds the environment registry onto the PEMS-wide observability).
+        Accumulated legacy counts carry over; outcome series start fresh
+        on the new facade."""
+        invocations = self._invocations_total.value
+        memo_hits = self._memo_hits_total.value
+        self.obs = Observability.coerce(observe)
+        self._init_instruments()
+        if invocations:
+            self._invocations_total.inc(invocations)
+        if memo_hits:
+            self._memo_hits_total.inc(memo_hits)
 
     # -- registration (dynamic discovery feeds these) -----------------------
 
@@ -171,19 +219,21 @@ class ServiceRegistry:
         """Total number of invocations performed through this registry.
 
         Used by benchmarks to measure rewriting savings (Section 3.3).
+        Backed by the ``serena_invocations_total`` counter of :attr:`obs`.
         """
-        return self._invocation_count
+        return int(self._invocations_total.value)
 
     def reset_invocation_count(self) -> None:
-        self._invocation_count = 0
+        self._invocations_total.reset()
 
     # -- per-instant memoization (multi-query sharing) -----------------------
 
     @property
     def memo_hits(self) -> int:
         """Invocations answered from the per-instant memo instead of the
-        device (not counted in :attr:`invocation_count`)."""
-        return self._memo_hits
+        device (not counted in :attr:`invocation_count`).  Backed by the
+        ``serena_invocation_memo_hits_total`` counter of :attr:`obs`."""
+        return int(self._memo_hits_total.value)
 
     def begin_instant_memo(self, instant: int) -> None:
         """Start memoizing successful invocations for ``instant``.
@@ -232,6 +282,7 @@ class ServiceRegistry:
                 f"attributes {sorted(provided)} do not match prototype input "
                 f"schema {sorted(expected)}"
             )
+        obs = self.obs
         key: tuple | None = None
         if self._memo is not None and instant == self._memo_instant:
             try:
@@ -241,7 +292,17 @@ class ServiceRegistry:
             if key is not None:
                 cached = self._memo.get(key)
                 if cached is not None:
-                    self._memo_hits += 1
+                    self._memo_hits_total.inc()
+                    if obs.metrics_on:
+                        self._outcome_memo_hit.inc()
+                    if obs.tracing_on:
+                        obs.tracer.event(
+                            "service.invoke",
+                            instant,
+                            service=reference,
+                            prototype=prototype.name,
+                            outcome="memo_hit",
+                        )
                     return list(cached)
         refused = self.health.check(reference, instant)
         if refused is not None:
@@ -249,12 +310,25 @@ class ServiceRegistry:
             # contacted and the health state machine does not move.
             reason, retry_at = refused
             self.health.record_fast_failure(reference)
+            if obs.metrics_on:
+                self._outcome_fast_failed.inc()
+            if obs.tracing_on:
+                obs.tracer.event(
+                    "service.invoke",
+                    instant,
+                    service=reference,
+                    prototype=prototype.name,
+                    outcome="fast_failed",
+                    reason=reason,
+                )
             raise ServiceUnavailableError(reference, reason, retry_at)
-        self._invocation_count += 1
+        state_before = self.health.state(reference) if obs.metrics_on else None
+        self._invocations_total.inc()
         try:
             rows = handler(dict(inputs), instant)
         except Exception as exc:
             self.health.record_failure(reference, instant)
+            self._invoke_failed(prototype, reference, instant, state_before)
             raise InvocationError(
                 f"invocation of {prototype.name!r} on {reference!r} failed: {exc}"
             ) from exc
@@ -264,11 +338,58 @@ class ServiceRegistry:
                 results.append(prototype.output_schema.tuple_from_mapping(row))
             except SchemaError as exc:
                 self.health.record_failure(reference, instant)
+                self._invoke_failed(prototype, reference, instant, state_before)
                 raise InvocationError(
                     f"invocation of {prototype.name!r} on {reference!r} "
                     f"returned an invalid output tuple {row!r}: {exc}"
                 ) from exc
         self.health.record_success(reference, instant)
+        if state_before is not None:
+            self._health_transition(reference, state_before)
+        if obs.metrics_on:
+            self._outcome_success.inc()
+        if obs.tracing_on:
+            obs.tracer.event(
+                "service.invoke",
+                instant,
+                service=reference,
+                prototype=prototype.name,
+                outcome="success",
+                rows=len(results),
+            )
         if key is not None and self._memo is not None:
             self._memo[key] = list(results)  # successes only
         return results
+
+    # -- invocation observability helpers ------------------------------------
+
+    def _health_transition(self, reference: str, before: HealthState) -> None:
+        after = self.health.state(reference)
+        if after is not before:
+            self.obs.metrics.counter(
+                "serena_service_health_transitions_total",
+                "Service health state changes seen at invocation time",
+                from_state=before.value,
+                to_state=after.value,
+            ).inc()
+
+    def _invoke_failed(
+        self,
+        prototype: Prototype,
+        reference: str,
+        instant: int,
+        state_before: HealthState | None,
+    ) -> None:
+        obs = self.obs
+        if state_before is not None:
+            self._health_transition(reference, state_before)
+        if obs.metrics_on:
+            self._outcome_failed.inc()
+        if obs.tracing_on:
+            obs.tracer.event(
+                "service.invoke",
+                instant,
+                service=reference,
+                prototype=prototype.name,
+                outcome="failed",
+            )

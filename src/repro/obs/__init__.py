@@ -1,0 +1,31 @@
+"""Observability for PEMS: metrics, tick tracing, EXPLAIN ANALYZE.
+
+Zero-dependency instrumentation of the pervasive environment (DESIGN.md
+§9): a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+fixed-bucket histograms with Prometheus/JSON export; a
+:class:`~repro.obs.trace.TickTracer` recording structured spans of the
+tick cycle; the :class:`~repro.obs.observe.Observability` facade behind
+the ``PEMS(observe=...)`` knob; and the EXPLAIN ANALYZE renderers of
+:mod:`repro.obs.analyze`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observe import OBSERVE_MODES, Observability
+from repro.obs.trace import NullTracer, Span, TickTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "OBSERVE_MODES",
+    "NullTracer",
+    "Span",
+    "TickTracer",
+]

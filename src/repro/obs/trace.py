@@ -1,0 +1,259 @@
+"""Structured tick tracing: spans over the PEMS evaluation cycle.
+
+A :class:`TickTracer` records *spans* — named, timed segments of one
+environment tick — with parent/child links, wall-clock stamps **and** the
+logical instant τ they belong to (the paper's time domain is discrete, so
+every span carries both clocks).  The span taxonomy (DESIGN.md §9):
+
+* ``tick`` — one full environment tick (PEMS.tick),
+* ``queries.tick`` — the query processor's slice of the tick,
+* ``scheduler.plan`` — the quiescence scheduler's affected-set decision,
+* ``query.evaluate`` / ``query.carry`` — one continuous query's turn,
+* ``executor.delta`` — one physical executor's delta application
+  (cardinalities as attributes; emitted as zero-length child spans),
+* ``service.invoke`` — one device invocation, with its outcome.
+
+Spans live in a bounded ring buffer (old spans are dropped, never the
+tick), and export as JSONL — one JSON object per line, newest last — for
+offline analysis.  When tracing is disabled the engine holds a
+:class:`NullTracer`, whose ``span`` returns a shared no-op context
+manager: the disabled path costs one method call and no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Iterator
+
+__all__ = ["Span", "TickTracer", "NullTracer", "TRACE_CAPACITY"]
+
+#: Default ring-buffer capacity (spans); at ~30 spans per traced tick on
+#: the §5.2 scenario this retains on the order of a hundred ticks.
+TRACE_CAPACITY = 4096
+
+
+class Span:
+    """One recorded trace segment."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "instant",
+        "started_at",
+        "duration",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        instant: int | None,
+        started_at: float,
+        attributes: dict,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        #: The logical instant τ the span belongs to (None outside ticks).
+        self.instant = instant
+        #: Wall-clock stamp (``time.time()`` seconds).
+        self.started_at = started_at
+        #: Wall-clock duration in seconds; 0.0 for point events.
+        self.duration = 0.0
+        self.attributes = attributes
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "instant": self.instant,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        parent = f" parent={self.parent_id}" if self.parent_id is not None else ""
+        return (
+            f"<Span #{self.span_id}{parent} {self.name!r} @τ={self.instant} "
+            f"{self.duration * 1000:.3f}ms {self.attributes}>"
+        )
+
+
+class _ActiveSpan:
+    """Context manager for one open span; closes it on exit."""
+
+    __slots__ = ("tracer", "span", "_t0")
+
+    def __init__(self, tracer: "TickTracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+        self._t0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._t0 = time.perf_counter()
+        self.tracer._stack.append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.span.attributes["error"] = exc_type.__name__
+        stack = self.tracer._stack
+        if stack and stack[-1] is self.span:
+            stack.pop()
+
+
+class TickTracer:
+    """Bounded recorder of the span tree, one instance per PEMS."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = TRACE_CAPACITY):
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.recorded = 0
+        self.capacity = capacity
+
+    # -- recording ---------------------------------------------------------------
+
+    def _record(self, name: str, instant: int | None, attributes: dict) -> Span:
+        span = Span(
+            self._next_id,
+            self._stack[-1].span_id if self._stack else None,
+            name,
+            instant,
+            time.time(),
+            attributes,
+        )
+        self._next_id += 1
+        self.recorded += 1
+        self._spans.append(span)
+        return span
+
+    def span(
+        self, name: str, instant: int | None = None, **attributes: object
+    ) -> _ActiveSpan:
+        """Open a timed span: ``with tracer.span("tick", instant=τ): ...``.
+
+        The span is parented to the innermost open span and recorded
+        immediately (its duration is filled in on exit), so even a span
+        that raises is retained with an ``error`` attribute.
+        """
+        return _ActiveSpan(self, self._record(name, instant, attributes))
+
+    def event(
+        self, name: str, instant: int | None = None, **attributes: object
+    ) -> Span:
+        """Record a zero-duration point event under the current span."""
+        return self._record(name, instant, attributes)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """The retained spans, oldest first."""
+        return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring buffer."""
+        return self.recorded - len(self._spans)
+
+    def recent(self, count: int = 20) -> list[Span]:
+        """The last ``count`` retained spans, oldest first."""
+        if count <= 0:
+            return []
+        spans = self._spans
+        return list(spans)[-count:]
+
+    def for_instant(self, instant: int) -> list[Span]:
+        """All retained spans stamped with logical instant ``instant``."""
+        return [s for s in self._spans if s.instant == instant]
+
+    def children(self, span: Span) -> list[Span]:
+        """Retained direct children of ``span``."""
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+
+    # -- export ------------------------------------------------------------------
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for span in self._spans:
+            yield json.dumps(span.to_dict(), sort_keys=True, default=repr)
+
+    def export_jsonl(self) -> str:
+        """The retained spans as JSONL (one object per line, oldest first)."""
+        lines = list(self.iter_jsonl())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"TickTracer({len(self._spans)}/{self.capacity} spans, "
+            f"{self.dropped} dropped)"
+        )
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op."""
+
+    enabled = False
+    recorded = 0
+    dropped = 0
+    capacity = 0
+
+    def span(self, name, instant=None, **attributes) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def event(self, name, instant=None, **attributes) -> None:
+        return None
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    def recent(self, count: int = 20) -> list:
+        return []
+
+    def for_instant(self, instant: int) -> list:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def export_jsonl(self) -> str:
+        return ""
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullTracer()"

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.model.services import Service
+from repro.obs.observe import Observability
 
 __all__ = [
     "AnnouncementKind",
@@ -62,10 +63,49 @@ Listener = Callable[[Announcement], None]
 class DiscoveryBus:
     """In-process announcement channel between Local ERMs and the core ERM."""
 
-    def __init__(self, log_size: int = ANNOUNCEMENT_LOG_SIZE):
+    def __init__(
+        self,
+        log_size: int = ANNOUNCEMENT_LOG_SIZE,
+        observe: "Observability | str | None" = None,
+    ):
         self._listeners: list[Listener] = []
         self._log: deque[Announcement] = deque(maxlen=log_size)
-        self._published = 0
+        #: Observability facade; a standalone bus defaults to "off" (the
+        #: migrated published/dropped counters still record), PEMS rebinds
+        #: via :meth:`bind_observability`.
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        self._init_instruments()
+
+    def _init_instruments(self) -> None:
+        metrics = self.obs.metrics
+        kind_help = "Discovery announcements published on the bus, by kind"
+        self._kind_totals = {
+            kind: metrics.counter(
+                "serena_discovery_announcements_total", kind_help, kind=kind.value
+            )
+            for kind in AnnouncementKind
+        }
+        self._dropped_total = metrics.counter(
+            "serena_discovery_dropped_total",
+            "Announcements evicted from the bounded diagnostic log",
+        )
+
+    def bind_observability(self, observe: "Observability | str | None") -> None:
+        """Re-home the bus's counters onto another facade (PEMS binds the
+        bus onto the environment-wide observability); counts carry over."""
+        carried = {k: c.value for k, c in self._kind_totals.items()}
+        dropped = self._dropped_total.value
+        self.obs = Observability.coerce(observe)
+        self._init_instruments()
+        for kind, count in carried.items():
+            if count:
+                self._kind_totals[kind].inc(count)
+        if dropped:
+            self._dropped_total.inc(dropped)
 
     def subscribe(self, listener: Listener) -> None:
         self._listeners.append(listener)
@@ -75,7 +115,9 @@ class DiscoveryBus:
 
     def publish(self, announcement: Announcement) -> None:
         """Deliver to all subscribers, synchronously and in order."""
-        self._published += 1
+        self._kind_totals[announcement.kind].inc()
+        if len(self._log) == self._log.maxlen:
+            self._dropped_total.inc()
         self._log.append(announcement)
         for listener in list(self._listeners):
             listener(announcement)
@@ -88,10 +130,12 @@ class DiscoveryBus:
 
     @property
     def published_count(self) -> int:
-        """Total announcements ever published (including dropped ones)."""
-        return self._published
+        """Total announcements ever published (including dropped ones).
+        Backed by the ``serena_discovery_announcements_total`` family."""
+        return int(sum(c.value for c in self._kind_totals.values()))
 
     @property
     def dropped_count(self) -> int:
-        """Announcements evicted from the capped log."""
-        return self._published - len(self._log)
+        """Announcements evicted from the capped log.  Backed by the
+        ``serena_discovery_dropped_total`` counter."""
+        return int(self._dropped_total.value)

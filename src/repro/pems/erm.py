@@ -17,6 +17,7 @@ from repro.continuous.time import VirtualClock
 from repro.model.invocation_policy import InvocationPolicy
 from repro.model.prototypes import Prototype
 from repro.model.services import Service, ServiceRegistry
+from repro.obs.observe import Observability
 from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
 
 __all__ = ["EnvironmentResourceManager", "DiscoveryEvent"]
@@ -46,11 +47,34 @@ class EnvironmentResourceManager:
         clock: VirtualClock,
         registry: ServiceRegistry | None = None,
         policy: InvocationPolicy | None = None,
+        observe: "Observability | str | None" = None,
     ):
         self.bus = bus
         self.clock = clock
         self.registry = (
             registry if registry is not None else ServiceRegistry(policy=policy)
+        )
+        #: Observability facade (PEMS passes its environment-wide one).
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        metrics = self.obs.metrics
+        event_help = "Service discovery events emitted by the core ERM, by kind"
+        self._event_totals = {
+            kind: metrics.counter(
+                "serena_discovery_events_total", event_help, kind=kind
+            )
+            for kind in ("appeared", "left", "expired", "quarantined")
+        }
+        self._available_gauge = metrics.gauge(
+            "serena_services_available",
+            "Services currently registered (invocable) in the environment",
+        )
+        self._quarantined_gauge = metrics.gauge(
+            "serena_services_quarantined",
+            "Services currently parked out of the registry by quarantine",
         )
         self._expiry: dict[str, int] = {}
         # Quarantined services, removed from the registry but remembered so
@@ -88,6 +112,20 @@ class EnvironmentResourceManager:
     def _emit(self, kind: str, service: Service) -> None:
         event = DiscoveryEvent(kind, service, self.clock.now)
         self._events.append(event)
+        obs = self.obs
+        if obs.metrics_on:
+            counter = self._event_totals.get(kind)
+            if counter is not None:
+                counter.inc()
+            self._available_gauge.set(len(self.registry))
+            self._quarantined_gauge.set(len(self._parked))
+        if obs.tracing_on:
+            obs.tracer.event(
+                "discovery.event",
+                self.clock.now,
+                kind=kind,
+                service=service.reference,
+            )
         for listener in list(self._listeners):
             listener(event)
 

@@ -16,12 +16,14 @@ from the next instant, like a real network advertisement would be.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.continuous.time import VirtualClock
 from repro.model.environment import PervasiveEnvironment
 from repro.model.invocation_policy import InvocationPolicy
 from repro.model.services import ServiceRegistry
+from repro.obs.observe import Observability
 from repro.pems.discovery import DiscoveryBus
 from repro.pems.erm import EnvironmentResourceManager
 from repro.pems.local_erm import LocalEnvironmentResourceManager
@@ -48,23 +50,42 @@ class PEMS:
     service registry (retry backoff, quarantine threshold); the default
     is fully permissive — every invocation reaches the device, matching
     a policy-free system (see :mod:`repro.model.invocation_policy`).
+
+    ``observe`` sets the observability mode (DESIGN.md §9): ``"metrics"``
+    (default — always-on counters, gauges and per-tick histograms),
+    ``"full"`` (metrics plus tick-trace spans) or ``"off"``; an existing
+    :class:`~repro.obs.observe.Observability` instance is also accepted.
+    Every component shares the one facade at :attr:`obs`; observation
+    never changes evaluation results.
     """
 
     def __init__(
-        self, engine: str = "shared", policy: InvocationPolicy | None = None
+        self,
+        engine: str = "shared",
+        policy: InvocationPolicy | None = None,
+        observe: "Observability | str | None" = None,
     ):
+        self.obs = Observability.coerce(observe)
         self.clock = VirtualClock()
         self.bus = DiscoveryBus()
-        self.environment = PervasiveEnvironment(ServiceRegistry(policy=policy))
+        self.bus.bind_observability(self.obs)
+        registry = ServiceRegistry(policy=policy)
+        registry.bind_observability(self.obs)
+        self.environment = PervasiveEnvironment(registry)
         # Construction order fixes tick-listener order (see module doc).
         self.erm = EnvironmentResourceManager(
-            self.bus, self.clock, self.environment.registry
+            self.bus, self.clock, self.environment.registry, observe=self.obs
         )
         self._sources: list[StreamSource] = []
         self.clock.on_tick(self._run_sources)
         self.tables = ExtendedTableManager(self.environment, self.clock)
         self.queries = QueryProcessor(
-            self.environment, self.clock, self.erm, self.tables, engine=engine
+            self.environment,
+            self.clock,
+            self.erm,
+            self.tables,
+            engine=engine,
+            observe=self.obs,
         )
         self._local_erms: dict[str, LocalEnvironmentResourceManager] = {}
 
@@ -102,12 +123,25 @@ class PEMS:
         return self.tables.execute_ddl(text)
 
     def tick(self) -> int:
-        """Advance the environment by one instant."""
-        return self.clock.tick()
+        """Advance the environment by one instant (observed)."""
+        obs = self.obs
+        if not obs.metrics_on:
+            return self.clock.tick()
+        started = time.perf_counter()
+        if obs.tracing_on:
+            with obs.tracer.span("tick", self.clock.now + 1):
+                instant = self.clock.tick()
+        else:
+            instant = self.clock.tick()
+        obs.record_tick(time.perf_counter() - started)
+        return instant
 
     def run(self, instants: int) -> int:
         """Advance the environment by ``instants`` instants."""
-        return self.clock.run(instants)
+        now = self.clock.now
+        for _ in range(instants):
+            now = self.tick()
+        return now
 
     def describe(self) -> str:
         """Catalog dump: prototypes, services, relations, queries."""

@@ -24,6 +24,7 @@ from repro.exec.scheduler import TickScheduler
 from repro.exec.shared import SharedPlanRegistry
 from repro.model.environment import PervasiveEnvironment
 from repro.model.services import Service
+from repro.obs.observe import Observability
 from repro.pems.erm import EnvironmentResourceManager
 from repro.pems.table_manager import ExtendedTableManager
 
@@ -106,17 +107,33 @@ class QueryProcessor:
         erm: EnvironmentResourceManager,
         tables: ExtendedTableManager,
         engine: str = "shared",
+        observe: "Observability | str | None" = None,
     ):
         self.environment = environment
         self.clock = clock
         self.erm = erm
         self.tables = tables
         self.engine = engine
+        #: Observability facade shared across the processor, its scheduler,
+        #: shared-plan registry and every registered query's engine.
+        self.obs = (
+            Observability.disabled()
+            if observe is None
+            else Observability.coerce(observe)
+        )
+        self._failures_total = self.obs.metrics.counter(
+            "serena_query_failures_total",
+            "Continuous-query evaluation failures captured by the tick loop",
+        )
+        self._registered_gauge = self.obs.metrics.gauge(
+            "serena_queries_registered",
+            "Continuous queries currently registered with the processor",
+        )
         #: Shared-subplan registry for engine="shared" queries: one per
         #: processor, so co-registered queries share physical subtrees.
-        self.shared = SharedPlanRegistry(environment)
+        self.shared = SharedPlanRegistry(environment, observe=self.obs)
         #: Quiescence-aware scheduler for engine="shared" queries.
-        self.scheduler = TickScheduler(environment)
+        self.scheduler = TickScheduler(environment, observe=self.obs)
         erm.on_discovery(self.scheduler.on_discovery_event)
         self._continuous: dict[str, ContinuousQuery] = {}
         #: Evaluation order (sorted names), maintained at register/
@@ -196,11 +213,13 @@ class QueryProcessor:
             keep_history,
             engine=effective,
             shared=self.shared if effective == "shared" else None,
+            observe=self.obs,
         )
         self._continuous[key] = continuous
         insort(self._order, key)
         if effective == "shared":
             self.scheduler.register(key, continuous)
+        self._registered_gauge.set(len(self._continuous))
         return continuous
 
     def deregister_continuous(self, name: str) -> None:
@@ -210,6 +229,7 @@ class QueryProcessor:
         self._order.remove(name)
         self.scheduler.deregister(name)
         continuous.release()
+        self._registered_gauge.set(len(self._continuous))
 
     def continuous_query(self, name: str) -> ContinuousQuery:
         try:
@@ -292,12 +312,28 @@ class QueryProcessor:
         instant, so identical calls issued by different queries within
         one tick reach the device once.
         """
+        if self.obs.tracing_on:
+            with self.obs.tracer.span(
+                "queries.tick", instant, queries=len(self._continuous)
+            ):
+                self._tick_queries(instant, tracing=True)
+        else:
+            self._tick_queries(instant, tracing=False)
+
+    def _tick_queries(self, instant: int, tracing: bool) -> None:
+        tracer = self.obs.tracer
         for discovery in self._discovery:
             self._sync_discovery(discovery)
         registry = self.environment.registry
         registry.begin_instant_memo(instant)
         try:
-            affected = self.scheduler.plan(instant)
+            if tracing:
+                with tracer.span("scheduler.plan", instant) as plan_span:
+                    affected = self.scheduler.plan(instant)
+                    plan_span.attributes["affected"] = len(affected)
+                    plan_span.attributes["scheduled"] = len(self.scheduler)
+            else:
+                affected = self.scheduler.plan(instant)
             for name in list(self._order):
                 continuous = self._continuous.get(name)
                 if continuous is None:  # deregistered by a listener mid-tick
@@ -305,20 +341,50 @@ class QueryProcessor:
                 scheduled = name in self.scheduler
                 try:
                     if scheduled and name not in affected:
-                        continuous.carry_forward(instant)
+                        if tracing:
+                            with tracer.span("query.carry", instant, query=name):
+                                continuous.carry_forward(instant)
+                        else:
+                            continuous.carry_forward(instant)
                         self.scheduler.skipped(name)
                     else:
-                        continuous.evaluate_at(instant)
+                        if tracing:
+                            with tracer.span(
+                                "query.evaluate", instant, query=name
+                            ):
+                                continuous.evaluate_at(instant)
+                                self._trace_deltas(tracer, continuous, instant)
+                        else:
+                            continuous.evaluate_at(instant)
                         if scheduled:
                             self.scheduler.evaluated(name, True)
                 except Exception as exc:
                     self._failures.append(
                         QueryFailure.from_exception(instant, name, exc)
                     )
+                    self._failures_total.inc()
                     if scheduled:
                         self.scheduler.evaluated(name, False)
         finally:
             registry.end_instant_memo()
+
+    @staticmethod
+    def _trace_deltas(tracer, continuous: ContinuousQuery, instant: int) -> None:
+        """Emit one ``executor.delta`` event per physical executor that
+        changed at this instant (full-trace mode only)."""
+        for executor in continuous.executors():
+            if getattr(executor, "_instant", None) != instant:
+                continue  # not advanced this instant (e.g. pruned subtree)
+            change = executor.change
+            if change.inserted or change.deleted:
+                tracer.event(
+                    "executor.delta",
+                    instant,
+                    operator=executor.node.symbol(),
+                    executor=type(executor).__name__,
+                    inserted=len(change.inserted),
+                    deleted=len(change.deleted),
+                )
 
     def __repr__(self) -> str:
         return (

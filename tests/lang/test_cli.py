@@ -227,6 +227,120 @@ class TestMainEntry:
         assert "Ada" in capsys.readouterr().out
 
 
+class TestObservabilityCommands:
+    @pytest.fixture
+    def traced(self):
+        from repro.devices.scenario import build_temperature_surveillance
+
+        out = io.StringIO()
+        scenario = build_temperature_surveillance(
+            engine="shared", observe="full"
+        )
+        sh = SerenaShell(scenario.pems, out)
+        sh.execute(".tick 3")
+        return sh, out
+
+    def test_analyze_all_registered_queries(self, traced):
+        sh, out = traced
+        sh.execute(".analyze")
+        text = out.getvalue()
+        assert "EXPLAIN ANALYZE alerts" in text
+        assert "EXPLAIN ANALYZE cold-photos" in text
+        assert "shared(refs=" in text
+
+    def test_analyze_one_query(self, traced):
+        sh, out = traced
+        sh.execute(".analyze alerts")
+        text = out.getvalue()
+        assert "EXPLAIN ANALYZE alerts" in text
+        assert "cold-photos" not in text
+        assert "ticks=3" in text
+
+    def test_analyze_unknown_query_reports_error(self, traced):
+        sh, out = traced
+        sh.execute(".analyze ghost")
+        assert "error:" in out.getvalue()
+
+    def test_analyze_without_queries(self, shell):
+        sh, out = shell
+        sh.execute(".analyze")
+        assert "(no continuous queries registered)" in out.getvalue()
+
+    def test_explain_physical(self, traced):
+        sh, out = traced
+        sh.execute(
+            ".explain physical SELECT * FROM contacts WHERE name = 'Carla'"
+        )
+        text = out.getvalue()
+        assert "scan(contacts)" in text
+        assert "[ScanExec]" in text
+        assert "private" in text  # the unregistered selection root
+        assert "shared(refs=" in text  # the leased contacts scan below it
+
+    def test_explain_usage(self, shell):
+        sh, out = shell
+        sh.execute(".explain")
+        assert "usage: .explain [physical]" in out.getvalue()
+
+    def test_metrics_prometheus_text(self, traced):
+        sh, out = traced
+        sh.execute(".metrics")
+        text = out.getvalue()
+        assert "serena_ticks_total 3" in text
+        assert "# TYPE serena_tick_seconds histogram" in text
+        assert "serena_invocations_total" in text
+
+    def test_metrics_json(self, traced):
+        import json
+
+        sh, out = traced
+        sh.execute(".metrics json")
+        payload = out.getvalue().split("now at instant 3\n", 1)[1]
+        snapshot = json.loads(payload)
+        assert snapshot["mode"] == "full"
+        assert "serena_ticks_total" in snapshot["metrics"]
+
+    def test_metrics_usage(self, traced):
+        sh, out = traced
+        sh.execute(".metrics yaml")
+        assert "usage: .metrics [json]" in out.getvalue()
+
+    def test_trace_renders_span_tree(self, traced):
+        sh, out = traced
+        sh.execute(".trace 50")
+        text = out.getvalue()
+        assert "τ=3 tick" in text
+        assert "queries.tick" in text
+        assert "query=alerts" in text
+
+    def test_trace_json_lines_parse(self, traced):
+        import json
+
+        sh, out = traced
+        sh.execute(".trace json")
+        payload = out.getvalue().split("now at instant 3\n", 1)[1]
+        for line in payload.strip().splitlines():
+            json.loads(line)
+
+    def test_trace_disabled_without_full_mode(self, shell):
+        sh, out = shell  # plain PEMS() defaults to metrics mode
+        sh.execute(".trace")
+        assert "tracing is off" in out.getvalue()
+
+    def test_trace_usage(self, traced):
+        sh, out = traced
+        sh.execute(".trace lots")
+        assert "usage: .trace [n|json]" in out.getvalue()
+
+    def test_help_lists_observability_commands(self, shell):
+        sh, out = shell
+        sh.execute(".help")
+        text = out.getvalue()
+        assert ".analyze" in text
+        assert ".metrics" in text
+        assert ".trace" in text
+
+
 class TestProfileCommand:
     def test_profile_shows_counts_and_result(self, shell):
         sh, out = shell

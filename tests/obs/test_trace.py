@@ -1,0 +1,159 @@
+"""Unit tests for the tick tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TRACE_CAPACITY, NullTracer, Span, TickTracer
+
+
+@pytest.fixture
+def tracer():
+    return TickTracer()
+
+
+class TestSpans:
+    def test_span_records_name_instant_attributes(self, tracer):
+        with tracer.span("tick", 3, engine="shared") as span:
+            pass
+        assert span.name == "tick"
+        assert span.instant == 3
+        assert span.attributes == {"engine": "shared"}
+        assert tracer.spans == [span]
+
+    def test_duration_measured(self, tracer):
+        with tracer.span("tick", 1) as span:
+            sum(range(1000))
+        assert span.duration > 0.0
+
+    def test_nesting_sets_parent_ids(self, tracer):
+        with tracer.span("tick", 1) as outer:
+            with tracer.span("queries.tick", 1) as middle:
+                with tracer.span("query.evaluate", 1) as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        assert tracer.children(outer) == [middle]
+        assert tracer.children(middle) == [inner]
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("tick", 1) as parent:
+            with tracer.span("a", 1) as a:
+                pass
+            with tracer.span("b", 1) as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_span_ids_are_unique_and_increasing(self, tracer):
+        spans = []
+        for _ in range(3):
+            with tracer.span("tick", 1) as s:
+                spans.append(s)
+        ids = [s.span_id for s in spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_exception_recorded_as_error_attribute(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("tick", 1) as span:
+                raise RuntimeError("boom")
+        assert span.attributes["error"] == "RuntimeError"
+        assert tracer.spans == [span]  # retained despite the raise
+        assert tracer._stack == []  # stack unwound
+
+    def test_events_are_zero_duration_children(self, tracer):
+        with tracer.span("tick", 2) as parent:
+            event = tracer.event("service.invoke", 2, outcome="success")
+        assert event.duration == 0.0
+        assert event.parent_id == parent.span_id
+        assert event.attributes == {"outcome": "success"}
+
+    def test_top_level_event_has_no_parent(self, tracer):
+        event = tracer.event("discovery.event", 1, kind="appeared")
+        assert event.parent_id is None
+
+
+class TestRingBuffer:
+    def test_old_spans_evicted(self):
+        tracer = TickTracer(capacity=4)
+        for index in range(6):
+            tracer.event("e", index)
+        assert len(tracer) == 4
+        assert tracer.recorded == 6
+        assert tracer.dropped == 2
+        assert [s.instant for s in tracer.spans] == [2, 3, 4, 5]
+
+    def test_default_capacity(self, tracer):
+        assert tracer.capacity == TRACE_CAPACITY
+
+    def test_recent(self, tracer):
+        for index in range(5):
+            tracer.event("e", index)
+        assert [s.instant for s in tracer.recent(2)] == [3, 4]
+        assert tracer.recent(0) == []
+        assert len(tracer.recent(100)) == 5
+
+    def test_for_instant(self, tracer):
+        tracer.event("a", 1)
+        tracer.event("b", 2)
+        tracer.event("c", 2)
+        assert [s.name for s in tracer.for_instant(2)] == ["b", "c"]
+        assert tracer.for_instant(9) == []
+
+    def test_clear(self, tracer):
+        with tracer.span("tick", 1):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer._stack == []
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tracer):
+        with tracer.span("tick", 3, engine="shared"):
+            tracer.event("service.invoke", 3, outcome="success")
+        lines = tracer.export_jsonl().strip().split("\n")
+        assert len(lines) == 2
+        decoded = [json.loads(line) for line in lines]
+        assert decoded[0]["name"] == "tick"
+        assert decoded[0]["instant"] == 3
+        assert decoded[1]["parent_id"] == decoded[0]["span_id"]
+        assert decoded[1]["attributes"] == {"outcome": "success"}
+
+    def test_empty_export(self, tracer):
+        assert tracer.export_jsonl() == ""
+
+    def test_to_dict_fields(self):
+        span = Span(7, 3, "tick", 5, 123.0, {"a": 1})
+        assert span.to_dict() == {
+            "span_id": 7,
+            "parent_id": 3,
+            "name": "tick",
+            "instant": 5,
+            "started_at": 123.0,
+            "duration": 0.0,
+            "attributes": {"a": 1},
+        }
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        null = NullTracer()
+        assert not null.enabled
+        with null.span("tick", 1, x=1) as inner:
+            assert inner is None
+        assert null.event("e", 1) is None
+        assert null.spans == []
+        assert null.recent() == []
+        assert null.for_instant(1) == []
+        assert null.export_jsonl() == ""
+        assert len(null) == 0
+        assert null.recorded == 0
+        assert null.dropped == 0
+        null.clear()  # no raise
+
+    def test_shared_context_manager(self):
+        null = NullTracer()
+        assert null.span("a") is null.span("b")  # no allocation per call
