@@ -48,6 +48,11 @@ DEFAULT_SERVICE_COST = 100.0
 #: Default fraction of a base relation changing per instant, used by the
 #: steady-state tick-cost model when the caller has no churn estimate.
 DEFAULT_CHURN = 0.01
+#: Per-delta-tuple cost of a natively-columnar operator relative to its
+#: row executor: compiled predicates, C-speed column gathers and interned
+#: join probes replace per-row interpretation (calibrated against the
+#: row-vs-columnar sweep in ``benchmarks/test_bench_tick_cost.py``).
+COLUMNAR_TUPLE_FACTOR = 0.2
 
 
 @dataclass(frozen=True)
@@ -224,6 +229,7 @@ class CostModel:
         plan: Operator | Query,
         engine: str = "incremental",
         churn: float = DEFAULT_CHURN,
+        backend: str = "row",
     ) -> PlanCost:
         """Estimated *steady-state per-tick* cost of a registered
         continuous query.
@@ -237,14 +243,27 @@ class CostModel:
         tuples (its per-tuple cache), so service cost scales with deltas
         either way — what the incremental engine buys is the tuple
         processing, which dominates invocation-free plans.
+
+        ``backend="columnar"`` (``engine="columnar"`` is sugar for
+        incremental + this) scales the per-delta-tuple cost of operators
+        with a native batch executor (see
+        :data:`repro.exec.lowering.COLUMNAR_ACCELERATED`) by
+        :data:`COLUMNAR_TUPLE_FACTOR`; operators that keep their row
+        executor under the columnar backend are unaffected, as is
+        service cost — the network does not get faster because the
+        deltas are columns.
         """
         root = plan.root if isinstance(plan, Query) else plan
+        if engine == "columnar":
+            engine, backend = "incremental", "columnar"
         if engine == "incremental":
             # The physical layer builds on the algebra; import here so the
             # algebra package stays importable on its own.
-            from repro.exec.lowering import supported_operator
+            from repro.exec.lowering import columnar_operator, supported_operator
         else:
             supported_operator = lambda node: False  # noqa: E731
+            columnar_operator = lambda node: False  # noqa: E731
+        columnar = backend == "columnar"
         invocations = 0.0
         tuples = 0.0
 
@@ -252,7 +271,12 @@ class CostModel:
             nonlocal invocations, tuples
             lowered = lowered and supported_operator(node)
             if lowered:
-                tuples += self.delta_cardinality(node, churn)
+                factor = (
+                    COLUMNAR_TUPLE_FACTOR
+                    if columnar and columnar_operator(node)
+                    else 1.0
+                )
+                tuples += factor * self.delta_cardinality(node, churn)
             else:
                 tuples += self.cardinality(node)
             if isinstance(node, Invocation):

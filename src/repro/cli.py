@@ -19,7 +19,8 @@ Run ``python -m repro`` for an interactive session, or
   ``.actions <name>``       cumulative action set of a continuous query
   ``.explain SELECT ...``   the compiled plan of a SQL query
   ``.explain physical ...`` the lowered physical plan (executor classes,
-                            shared/private markers)
+                            backends, shared/private markers); accepts an
+                            optional backend: ``.explain physical columnar``
   ``.analyze [name]``       EXPLAIN ANALYZE of registered continuous
                             queries: per-executor cumulative run stats
   ``.metrics [json]``       the metrics registry (Prometheus text, or a
@@ -200,17 +201,28 @@ class SerenaShell:
     def _cmd_explain(self, argument: str) -> None:
         from repro.lang.printer import explain, explain_physical
 
+        from repro.exec.lowering import BACKENDS
+
         physical = False
+        backend: str | None = None
         head, _, rest = argument.partition(" ")
         if head.lower() == "physical":
             physical = True
             argument = rest.strip()
+            head, _, rest = argument.partition(" ")
+            if head.lower() in BACKENDS:
+                backend = head.lower()
+                argument = rest.strip()
         if not argument:
-            self._print("usage: .explain [physical] SELECT ...")
+            self._print("usage: .explain [physical [row|columnar]] SELECT ...")
             return
         query = compile_sql(argument.rstrip(";"), self.pems.environment)
         if physical:
-            self._print(explain_physical(query, self.pems.queries.shared))
+            self._print(
+                explain_physical(
+                    query, self.pems.queries.shared, backend=backend
+                )
+            )
         else:
             self._print(explain(query))
 

@@ -27,6 +27,15 @@ Three execution engines are available (the ``engine`` parameter):
   full instantaneous result each tick.  Kept as the differential-testing
   oracle; all engines produce identical results, deltas, emissions and
   actions at every instant.
+* ``"columnar"`` — sugar for the incremental engine with
+  ``backend="columnar"``: the relational core runs the batch-evaluating
+  executors of :mod:`repro.exec.vectorized` over
+  :class:`~repro.exec.columnar.ColumnarDelta` batches.
+
+Orthogonally, ``backend`` ("row"/"columnar") selects the physical
+representation for the incremental and shared engines — so a shared
+registry built with ``backend="columnar"`` serves whole multi-query
+workloads columnar, with unchanged sharing and carry-forward semantics.
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ from repro.obs.observe import Observability
 
 __all__ = ["ContinuousQuery"]
 
-_ENGINES = ("incremental", "naive", "shared")
+_ENGINES = ("incremental", "naive", "shared", "columnar")
 
 #: Shared by every carried-forward result; ActionSet is a frozenset, so
 #: one instance is safe and keeps the O(1) carry path allocation-free.
@@ -63,11 +72,24 @@ class ContinuousQuery:
         engine: str = "incremental",
         shared: SharedPlanRegistry | None = None,
         observe: "Observability | str | None" = None,
+        backend: str | None = None,
     ):
         if engine not in _ENGINES:
             raise SerenaError(
                 f"unknown execution engine {engine!r} (expected one of "
                 f"{', '.join(_ENGINES)})"
+            )
+        if engine == "columnar":  # sugar: incremental plan, columnar backend
+            if backend not in (None, "columnar"):
+                raise SerenaError(
+                    f'engine "columnar" implies backend="columnar", '
+                    f"got backend={backend!r}"
+                )
+            engine, backend = "incremental", "columnar"
+        if engine == "naive" and backend not in (None, "row"):
+            raise SerenaError(
+                "the naive engine has no physical plan to lower; "
+                f"backend={backend!r} does not apply"
             )
         self.query = query
         self.environment = environment
@@ -80,15 +102,19 @@ class ContinuousQuery:
             else Observability.coerce(observe)
         )
         if engine == "incremental":
-            self._engine = IncrementalEngine(query, environment, observe=self.obs)
+            self._engine = IncrementalEngine(
+                query, environment, observe=self.obs, backend=backend or "row"
+            )
         elif engine == "shared":
             # Without a caller-supplied registry the query gets a private
             # one: correct, just with nothing to share against.
             self._engine = SharedEngine(
-                query, environment, shared, observe=self.obs
+                query, environment, shared, observe=self.obs, backend=backend
             )
         else:
             self._engine = None
+        #: The resolved physical backend ("row" for the naive engine).
+        self.backend = getattr(self._engine, "backend", None) or "row"
         self._states: dict[int, dict[str, Any]] = {}
         self._last_instant = -1
         self._last_result: QueryResult | None = None

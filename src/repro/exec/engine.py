@@ -35,12 +35,16 @@ class IncrementalEngine:
         query: Query,
         environment: PervasiveEnvironment,
         observe: "Observability | str | None" = None,
+        backend: str = "row",
     ):
         self.query = query
         self.environment = environment
+        #: Which physical backend the plan was lowered to ("row" or
+        #: "columnar"; see :data:`repro.exec.lowering.BACKENDS`).
+        self.backend = backend
         #: The physical plan (one executor per logical node, shared nodes
         #: lowered once).
-        self.root: Executor = lower(query.root)
+        self.root: Executor = lower(query.root, backend=backend)
         # Persistent per-node state for naive-evaluated fallback subtrees
         # (FallbackExec) — the physical counterpart of ContinuousQuery's
         # state store.

@@ -77,7 +77,9 @@ class ExecStats:
     step — the counts cover the executor's whole life.  ``input_*`` counts
     the delta tuples the node consumed from its children, ``output_*`` the
     change delta it published; the invocation fields are only meaningful
-    on β/β∞ executors, ``rows_scanned`` on scans.
+    on β/β∞ executors, ``rows_scanned`` on scans, and the batch fields on
+    columnar executors (``batches`` counts delta batches published,
+    ``batch_rows`` their total row cardinality).
     """
 
     __slots__ = (
@@ -91,6 +93,8 @@ class ExecStats:
         "memo_hits",
         "fast_failures",
         "failures",
+        "batches",
+        "batch_rows",
     )
 
     def __init__(self):
@@ -104,6 +108,8 @@ class ExecStats:
         self.memo_hits = 0
         self.fast_failures = 0
         self.failures = 0
+        self.batches = 0
+        self.batch_rows = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -127,6 +133,10 @@ class Executor:
     shared between plan branches advances exactly once per instant — the
     physical counterpart of the logical evaluation memo.
     """
+
+    #: Which physical representation this executor's change deltas use;
+    #: the columnar executors override it.  EXPLAIN ANALYZE reports it.
+    backend = "row"
 
     def __init__(self, node: Operator, children: Sequence["Executor"] = ()):
         self.node = node
@@ -201,9 +211,13 @@ class Executor:
         warm (a shared subplan leased from the registry after other
         queries ran it): the catch-up delta is then the child's full fresh
         view as insertions, exactly what a fresh child's first tick would
-        have produced."""
+        have produced.  When the child became warm in this very tick its
+        change delta already *is* that view (all content as insertions,
+        nothing deleted — the contract forbids first-tick deletions), so
+        the O(N) ``fresh_view`` snapshot is skipped."""
+        child_was_fresh = child.is_first_tick
         delta = child.tick(ctx)
-        if self.is_first_tick:
+        if self.is_first_tick and not child_was_fresh:
             delta = Delta(child.fresh_view(), _EMPTY)
         self.stats.input_inserted += len(delta.inserted)
         self.stats.input_deleted += len(delta.deleted)
@@ -312,22 +326,26 @@ class ScanExec(Executor):
         The journal is re-read from the consumed high-water mark, so
         late same-instant writes are picked up; application is
         idempotent against `current`, so re-read entries are harmless.
+
+        Entries fold in with whole-set operations (C speed, no per-tuple
+        Python).  That is equivalent to the per-tuple branch cascade
+        because two invariants hold across chunks: ``removed`` only ever
+        holds members of ``current``, and ``added`` never does — so a
+        re-insert is exactly ``removed -= inserted``, and a delete either
+        cancels a pending add or (disjointly) removes a current member.
         """
         added: set[tuple] = set()
         removed: set[tuple] = set()
+        current = self.current
         start = self._consumed if self._consumed is not None else 0
         for _, inserted, deleted in stored.changes_between(start, instant):  # type: ignore[attr-defined]
             self.stats.rows_scanned += len(inserted) + len(deleted)
-            for t in inserted:
-                if t in removed:
-                    removed.discard(t)
-                elif t not in self.current:
-                    added.add(t)
-            for t in deleted:
-                if t in added:
-                    added.discard(t)
-                elif t in self.current:
-                    removed.add(t)
+            if inserted:
+                removed -= inserted
+                added |= inserted - current
+            if deleted:
+                removed |= deleted & current
+                added -= deleted
         if not added and not removed:
             return EMPTY_DELTA
         return Delta(frozenset(added), frozenset(removed))

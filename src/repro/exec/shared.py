@@ -53,7 +53,7 @@ from repro.algebra.query import Query, QueryResult
 from repro.errors import SerenaError
 from repro.exec.delta import Delta
 from repro.exec.executors import Executor, FallbackExec, ScanExec
-from repro.exec.lowering import _LOWERINGS
+from repro.exec.lowering import _LOWERINGS, lowerings_for
 from repro.model.environment import PervasiveEnvironment
 from repro.model.relation import XRelation
 from repro.obs.observe import Observability
@@ -91,8 +91,15 @@ class SharedPlanRegistry:
         self,
         environment: PervasiveEnvironment,
         observe: "Observability | str | None" = None,
+        backend: str = "row",
     ):
         self.environment = environment
+        #: Every executor this registry builds — shared or private — comes
+        #: from one backend's lowering table: a shared subtree's physical
+        #: representation is part of its identity, so mixed-backend
+        #: leasing of one entry is ruled out by construction.
+        self.backend = backend
+        self._table = lowerings_for(backend)
         self._entries: dict[Operator, _Entry] = {}
         #: Observability facade (the query processor passes the PEMS-wide
         #: one); standalone registries default to "off".
@@ -192,11 +199,11 @@ class SharedPlanRegistry:
             return built
         if self._subtree_shareable(node):
             executor = self._lease(node, leased)
-        elif type(node) not in _LOWERINGS:
+        elif type(node) not in self._table:
             executor = FallbackExec(node)  # naive subtree, like lower()
         else:
             children = [self._build(c, leased, memo) for c in node.children]
-            executor = _LOWERINGS[type(node)](node, *children)
+            executor = self._table[type(node)](node, *children)
         memo[node.uid] = executor
         return executor
 
@@ -207,7 +214,7 @@ class SharedPlanRegistry:
         if entry is None:
             self._lease_misses_total.inc()
             children = [self._lease(c, leased) for c in node.children]
-            executor = _LOWERINGS[type(node)](node, *children)
+            executor = self._table[type(node)](node, *children)
             entry = _Entry(executor, _digest(node))
             self._entries[node] = entry
         else:
@@ -310,13 +317,24 @@ class SharedEngine:
         environment: PervasiveEnvironment,
         registry: SharedPlanRegistry | None = None,
         observe: "Observability | str | None" = None,
+        backend: str | None = None,
     ):
         if registry is None:
-            registry = SharedPlanRegistry(environment, observe=observe)
+            registry = SharedPlanRegistry(
+                environment, observe=observe, backend=backend or "row"
+            )
         elif registry.environment is not environment:
             raise SerenaError(
                 "shared-plan registry belongs to a different environment"
             )
+        elif backend is not None and backend != registry.backend:
+            raise SerenaError(
+                f"shared-plan registry lowers to backend "
+                f"{registry.backend!r}, cannot run this query on "
+                f"{backend!r}: executors of one registry share one "
+                "physical representation"
+            )
+        self.backend = registry.backend
         self.query = query
         self.environment = environment
         self.registry = registry

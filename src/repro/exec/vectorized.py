@@ -1,0 +1,404 @@
+"""Columnar (batch-at-a-time) executors for the Serena algebra core.
+
+The row executors of :mod:`repro.exec.executors` interpret the algebra
+per tuple: a dict row and a formula-AST walk per selection check, a
+generator expression per projected tuple, a freshly built key tuple per
+join probe.  The executors here process whole delta *batches* instead,
+over the :class:`~repro.exec.columnar.ColumnarDelta` representation:
+
+* predicates, key gathers and output combiners were compiled to closures
+  exactly once at lowering time (:mod:`repro.exec.lowering`) — ticking
+  runs them in tight comprehensions with no per-row interpretation;
+* projection gathers kept columns and rebuilds rows with ``zip`` at C
+  speed; assignment splices a whole column in;
+* the join interns key columns through a :class:`ValuePool` and probes
+  int-keyed hash indexes.
+
+Only the hot relational core is columnar — scan, σ, π, ρ, α, ⋈.  Set
+ops, γ, β, β∞, S[type], W[period] and the fallback keep their row
+executors under ``backend="columnar"`` too: the delta contract is
+backend-neutral (``inserted``/``deleted`` frozenset views), so row
+parents consume columnar children and vice versa with no adapters.
+
+Correctness is pinned differentially: the columnar engine must stay
+tuple-identical with the naive oracle over the 55-tick Table 4 and §5.2
+scenario suites.  That is also why :meth:`ColumnarExecutor.tick` may
+drop the row base class's per-tuple contract asserts from the hot path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algebra.context import EvaluationContext
+from repro.errors import FormulaError, SerenaError
+from repro.exec.columnar import ColumnarDelta, ValuePool
+from repro.exec.delta import EMPTY_DELTA, Delta
+from repro.exec.executors import Executor, ScanExec
+from repro.exec.lowering import (
+    compile_combiner,
+    compile_filter,
+    compile_key,
+)
+
+__all__ = [
+    "ColumnarExecutor",
+    "ColumnarScanExec",
+    "ColumnarSelectionExec",
+    "ColumnarProjectionExec",
+    "ColumnarRenamingExec",
+    "ColumnarAssignmentExec",
+    "ColumnarJoinExec",
+]
+
+_EMPTY: frozenset[tuple] = frozenset()
+
+
+def _real_width(node) -> int:
+    return len(node.schema.real_attributes)
+
+
+class ColumnarExecutor(Executor):
+    """Base of the batch executors: the row tick protocol, minus the
+    per-tuple contract asserts, plus batch accounting.
+
+    The memoization, monotonic-instant check, ``current`` maintenance
+    and change/reported bookkeeping are identical to
+    :meth:`Executor.tick`, so columnar and row executors interleave
+    freely in one tree (shared registry, β seams, fallbacks)."""
+
+    backend = "columnar"
+
+    def tick(self, ctx: EvaluationContext):
+        if self._instant == ctx.instant:
+            return self._change
+        if self._instant is not None and ctx.instant < self._instant:
+            raise SerenaError(
+                f"executor {type(self).__name__}: evaluation instants must "
+                f"be non-decreasing (got {ctx.instant} after {self._instant})"
+            )
+        pair = self._advance(ctx)
+        change, reported = pair if isinstance(pair, tuple) else (pair, None)
+        stats = self.stats
+        stats.ticks += 1
+        stats.batches += 1
+        if change:
+            inserted = change.inserted
+            deleted = change.deleted
+            self.current |= inserted
+            self.current -= deleted
+            stats.output_inserted += len(inserted)
+            stats.output_deleted += len(deleted)
+            stats.batch_rows += len(inserted) + len(deleted)
+        self._instant = ctx.instant
+        self._change = change
+        self._reported = change if reported is None else reported
+        return change
+
+    def _pull_columnar(
+        self, child: Executor, ctx: EvaluationContext, width: int
+    ) -> ColumnarDelta:
+        """Advance ``child`` and coerce the delta this node consumes to
+        the columnar representation (first-tick warm catch-up included,
+        mirroring :meth:`Executor._pull`, with the same skip of the
+        ``fresh_view`` snapshot when the child became warm this tick)."""
+        child_was_fresh = child.is_first_tick
+        delta = child.tick(ctx)
+        if self.is_first_tick and not child_was_fresh:
+            delta = ColumnarDelta.from_sets(child.fresh_view(), _EMPTY, width)
+        elif not isinstance(delta, ColumnarDelta):
+            delta = ColumnarDelta.from_sets(
+                delta.inserted, delta.deleted, width
+            )
+        stats = self.stats
+        stats.input_inserted += delta.insert_count
+        stats.input_deleted += delta.delete_count
+        return delta
+
+
+class ColumnarScanExec(ColumnarExecutor, ScanExec):
+    """Leaf over a named relation: the row scan's journal logic verbatim
+    (same three regimes, same reported-delta semantics), with the change
+    delta wrapped as a zero-copy columnar batch.  Subclassing
+    :class:`ScanExec` keeps the ``journaled`` introspection that stream
+    and window parents key their warm-share synthesis on."""
+
+    def __init__(self, node):
+        ScanExec.__init__(self, node)
+        self._width = _real_width(node)
+
+    def _advance(self, ctx: EvaluationContext):
+        pair = ScanExec._advance(self, ctx)
+        change, reported = pair if isinstance(pair, tuple) else (pair, None)
+        if change:
+            change = ColumnarDelta.from_sets(
+                change.inserted, change.deleted, self._width
+            )
+        return change, reported
+
+
+class ColumnarSelectionExec(ColumnarExecutor):
+    """σ: one compiled filter call per changed batch.
+
+    The insert side runs a single code-generated comprehension with the
+    predicate expression inlined — no per-row function call at all; if
+    any row raises (mixed-type ordering, contains on non-strings) the
+    batch is replayed through the interpreter path so the canonical
+    :class:`FormulaError` surfaces — identical error semantics, paid
+    only on the failing tick.  The delete side needs no predicate at
+    all: membership in ``current`` is exactly the row engine's filter."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        self._width = _real_width(node.children[0])
+        self._filter, self._slow = compile_filter(
+            node.formula, node.children[0].schema
+        )
+
+    def _advance(self, ctx: EvaluationContext):
+        delta = self._pull_columnar(self.children[0], ctx, self._width)
+        if not delta:
+            return EMPTY_DELTA
+        rows = delta.insert_rows()
+        try:
+            kept = self._filter(rows)
+        except (TypeError, FormulaError):
+            slow = self._slow
+            kept = [t for t in rows if slow(t)]
+        current = self.current
+        gone = [t for t in delta.delete_rows() if t in current]
+        if not kept and not gone:
+            return EMPTY_DELTA
+        return ColumnarDelta.from_rows(kept, gone, self._width)
+
+
+class ColumnarProjectionExec(ColumnarExecutor):
+    """π: gather the kept columns and rebuild rows with ``zip`` — no
+    per-row tuple comprehension.  Support counts work as in the row
+    executor, but the batch's gains and losses are tallied through
+    :class:`collections.Counter` (a C loop) and reconciled once per
+    *distinct* output row, so the emission decision (appeared /
+    disappeared) costs no per-input-row Python at all."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        self._in_width = len(source.real_attributes)
+        kept_real = [n for n in node.schema.names if n in node.schema.real_names]
+        self._positions = [source.real_position(n) for n in kept_real]
+        self._width = len(self._positions)
+        self._counts: dict[tuple, int] = {}
+
+    def _gather(self, delta: ColumnarDelta, side: str) -> list[tuple]:
+        count = delta.delete_count if side == "deleted" else delta.insert_count
+        if not count:
+            return []
+        if not self._positions:
+            return [()] * count
+        columns = (
+            delta.delete_columns() if side == "deleted" else delta.insert_columns()
+        )
+        return list(zip(*(columns[p] for p in self._positions)))
+
+    def _advance(self, ctx: EvaluationContext):
+        delta = self._pull_columnar(self.children[0], ctx, self._in_width)
+        if not delta:
+            return EMPTY_DELTA
+        counts = self._counts
+        gained = Counter(self._gather(delta, "inserted"))
+        lost = Counter(self._gather(delta, "deleted"))
+        inserted, deleted = [], []
+        for p in gained.keys() | lost.keys():
+            old = counts.get(p, 0)
+            removed = lost.get(p, 0)
+            if removed > old:
+                # The row executor decrements before re-adding, so losing
+                # more support than exists raises there too.
+                raise KeyError(p)
+            new = old - removed + gained.get(p, 0)
+            if new:
+                counts[p] = new
+                if old == 0:
+                    inserted.append(p)
+            elif old:
+                del counts[p]
+                deleted.append(p)
+        if not inserted and not deleted:
+            return EMPTY_DELTA
+        return ColumnarDelta.from_rows(inserted, deleted, self._width)
+
+
+class ColumnarRenamingExec(ColumnarExecutor):
+    """ρ: tuple layouts coincide — the child's batch passes through
+    unchanged (representation caches and all)."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        self._width = _real_width(node)
+
+    def _advance(self, ctx: EvaluationContext):
+        return self._pull_columnar(self.children[0], ctx, self._width)
+
+
+class ColumnarAssignmentExec(ColumnarExecutor):
+    """α: splice one whole column into the batch — the copied source
+    column (or a constant column) is inserted at the target position and
+    rows are rebuilt by ``zip``; no per-row transform runs at all."""
+
+    def __init__(self, node, child: Executor):
+        super().__init__(node, (child,))
+        source = node.children[0].schema
+        self._in_width = len(source.real_attributes)
+        self._width = _real_width(node)
+        self._target = node.schema.real_position(node.attribute)
+        if node.from_attribute:
+            self._value_position = source.real_position(node.value)
+            self._constant = None
+        else:
+            self._value_position = None
+            self._constant = node.value
+
+    def _splice(self, columns: list[list], count: int) -> list:
+        value_column = (
+            columns[self._value_position]
+            if self._value_position is not None
+            else [self._constant] * count
+        )
+        return columns[: self._target] + [value_column] + columns[self._target :]
+
+    def _advance(self, ctx: EvaluationContext):
+        delta = self._pull_columnar(self.children[0], ctx, self._in_width)
+        if not delta:
+            return EMPTY_DELTA
+        return ColumnarDelta.from_columns(
+            self._splice(delta.insert_columns(), delta.insert_count),
+            self._splice(delta.delete_columns(), delta.delete_count),
+            self._width,
+            insert_count=delta.insert_count,
+            delete_count=delta.delete_count,
+        )
+
+
+class ColumnarJoinExec(ColumnarExecutor):
+    """⋈: symmetric hash join over interned key arrays.
+
+    Key values are gathered straight from the row batch by a closure
+    compiled at lowering (no transpose of non-key attributes) and
+    interned through a :class:`ValuePool`, so both persisted build-side
+    indexes are keyed by dense ints — every probe is an int hash, never
+    a fresh key tuple.  Matches combine through the compiled output
+    builder into per-tick gain/loss row lists; deletions are processed
+    before insertions (new-new pairs counted exactly once).  Support
+    counts are then reconciled once per *distinct* output row from
+    :class:`collections.Counter` tallies of those lists — the count
+    arithmetic is commutative (negative counts are legal mid-tick,
+    exactly as in the row executor's ``adjust``), so batching it after
+    the index maintenance changes nothing observable."""
+
+    def __init__(self, node, left: Executor, right: Executor):
+        super().__init__(node, (left, right))
+        lschema = node.children[0].schema
+        rschema = node.children[1].schema
+        self._lwidth = len(lschema.real_attributes)
+        self._rwidth = len(rschema.real_attributes)
+        keys = node.predicate_names
+        self._lkeys = compile_key([lschema.real_position(n) for n in keys])
+        self._rkeys = compile_key([rschema.real_position(n) for n in keys])
+        out_sources: list[tuple[bool, int]] = []
+        for attribute in node.schema.real_attributes:
+            if attribute.name in lschema.real_names:
+                out_sources.append((True, lschema.real_position(attribute.name)))
+            else:
+                out_sources.append((False, rschema.real_position(attribute.name)))
+        self._width = len(out_sources)
+        self._combine = compile_combiner(out_sources)
+        self.pool = ValuePool()
+        self._lindex: dict[int, set[tuple]] = {}
+        self._rindex: dict[int, set[tuple]] = {}
+        self._counts: dict[tuple, int] = {}
+
+    def _side(self, delta: ColumnarDelta, gather, side: str):
+        """``(rows, interned key ids)`` of one side of one batch."""
+        count = delta.delete_count if side == "deleted" else delta.insert_count
+        if not count:
+            return (), ()
+        rows = delta.delete_rows() if side == "deleted" else delta.insert_rows()
+        return rows, self.pool.intern_column(gather(rows))
+
+    def _advance(self, ctx: EvaluationContext):
+        left, right = self.children
+        ld = self._pull_columnar(left, ctx, self._lwidth)
+        rd = self._pull_columnar(right, ctx, self._rwidth)
+        if not ld and not rd:
+            return EMPTY_DELTA
+        counts = self._counts
+        combine = self._combine
+        lindex, rindex = self._lindex, self._rindex
+        plus: list[tuple] = []
+        minus: list[tuple] = []
+        gain = plus.append
+        lose = minus.append
+
+        # Deletions first (against the other side's pre-insertion index),
+        # then insertions — the row executor's order, kept exactly.
+        rows, ids = self._side(ld, self._lkeys, "deleted")
+        for lt, key in zip(rows, ids):
+            bucket = lindex.get(key)
+            if bucket is not None:
+                bucket.discard(lt)
+                if not bucket:
+                    del lindex[key]
+            matches = rindex.get(key)
+            if matches:
+                for rt in matches:
+                    lose(combine(lt, rt))
+        rows, ids = self._side(rd, self._rkeys, "deleted")
+        for rt, key in zip(rows, ids):
+            bucket = rindex.get(key)
+            if bucket is not None:
+                bucket.discard(rt)
+                if not bucket:
+                    del rindex[key]
+            matches = lindex.get(key)
+            if matches:
+                for lt in matches:
+                    lose(combine(lt, rt))
+        rows, ids = self._side(ld, self._lkeys, "inserted")
+        for lt, key in zip(rows, ids):
+            bucket = lindex.get(key)
+            if bucket is None:
+                bucket = lindex[key] = set()
+            bucket.add(lt)
+            matches = rindex.get(key)
+            if matches:
+                for rt in matches:
+                    gain(combine(lt, rt))
+        rows, ids = self._side(rd, self._rkeys, "inserted")
+        for rt, key in zip(rows, ids):
+            bucket = rindex.get(key)
+            if bucket is None:
+                bucket = rindex[key] = set()
+            bucket.add(rt)
+            matches = lindex.get(key)
+            if matches:
+                for lt in matches:
+                    gain(combine(lt, rt))
+        if not plus and not minus:
+            return EMPTY_DELTA
+
+        gained = Counter(plus)
+        lost = Counter(minus)
+        inserted, deleted = [], []
+        for out in gained.keys() | lost.keys():
+            old = counts.get(out, 0)
+            new = old + gained.get(out, 0) - lost.get(out, 0)
+            if new:
+                counts[out] = new
+                if old == 0:
+                    inserted.append(out)
+            elif old:
+                del counts[out]
+                deleted.append(out)
+        if not inserted and not deleted:
+            return EMPTY_DELTA
+        return ColumnarDelta.from_rows(inserted, deleted, self._width)

@@ -69,13 +69,17 @@ def explain_analyze(continuous) -> str:
     return render_analyze(continuous)
 
 
-def explain_physical(plan: Operator | Query, registry=None) -> str:
-    """The lowered physical plan of a logical query: executor classes,
-    with subtrees marked shared when ``registry`` (a
-    :class:`~repro.exec.shared.SharedPlanRegistry`) already runs them."""
+def explain_physical(
+    plan: Operator | Query, registry=None, backend: str | None = None
+) -> str:
+    """The lowered physical plan of a logical query: executor classes and
+    backends, with subtrees marked shared when ``registry`` (a
+    :class:`~repro.exec.shared.SharedPlanRegistry`) already runs them.
+    ``backend`` ("row"/"columnar") selects the physical representation to
+    lower to; it defaults to the registry's backend."""
     from repro.obs.analyze import render_physical
 
-    return render_physical(plan, registry)
+    return render_physical(plan, registry, backend=backend)
 
 
 def to_dot(plan: Operator | Query, name: str = "plan") -> str:

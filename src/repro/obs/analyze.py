@@ -73,6 +73,7 @@ def analyze_rows(continuous: "ContinuousQuery") -> list[dict]:
                     "depth": depth,
                     "operator": executor.node.symbol(),
                     "executor": type(executor).__name__,
+                    "backend": executor.backend,
                     "ref": seen[key],
                     "repeat": True,
                 }
@@ -86,6 +87,7 @@ def analyze_rows(continuous: "ContinuousQuery") -> list[dict]:
             "index": index,
             "operator": executor.node.symbol(),
             "executor": type(executor).__name__,
+            "backend": executor.backend,
             "shared": key in shared,
             "refcount": shared.get(key),
             "ticks": stats.ticks,
@@ -95,6 +97,9 @@ def analyze_rows(continuous: "ContinuousQuery") -> list[dict]:
             "output_deleted": stats.output_deleted,
             "repeat": False,
         }
+        if executor.backend == "columnar":
+            row["batches"] = stats.batches
+            row["batch_rows"] = stats.batch_rows
         if isinstance(executor, ScanExec):
             row["rows_scanned"] = stats.rows_scanned
         if isinstance(executor, (InvocationExec, StreamingInvocationExec)):
@@ -117,18 +122,21 @@ def _format_row(row: dict) -> str:
     indent = "  " * row["depth"]
     if row.get("repeat"):
         return (
-            f"{indent}{row['operator']}  [{row['executor']}]"
+            f"{indent}{row['operator']}  [{row['executor']}/{row['backend']}]"
             f"  (shared node — see #{row['ref']})"
         )
     status = (
         f"shared(refs={row['refcount']})" if row["shared"] else "private"
     )
     parts = [
-        f"{indent}#{row['index']} {row['operator']}  [{row['executor']}]  {status}",
+        f"{indent}#{row['index']} {row['operator']}"
+        f"  [{row['executor']}/{row['backend']}]  {status}",
         f"ticks={row['ticks']}",
         f"in Δ+{row['input_inserted']}/-{row['input_deleted']}",
         f"out Δ+{row['output_inserted']}/-{row['output_deleted']}",
     ]
+    if "batches" in row:
+        parts.append(f"batches={row['batches']} batch-rows={row['batch_rows']}")
     if "rows_scanned" in row:
         parts.append(f"scanned={row['rows_scanned']}")
     if "invocations" in row:
@@ -164,30 +172,37 @@ def render_analyze(continuous: "ContinuousQuery") -> str:
 
 
 def render_physical(
-    plan, registry: "SharedPlanRegistry | None" = None
+    plan,
+    registry: "SharedPlanRegistry | None" = None,
+    backend: str | None = None,
 ) -> str:
     """The lowered physical plan of a (not yet registered) logical plan:
-    executor classes plus shared/private markers against ``registry``.
+    executor classes and backends plus shared/private markers against
+    ``registry``.
 
     The plan is canonicalized (Table 5 normal form — what the shared
-    engine executes) and lowered privately; a subtree is marked shared
-    when the registry currently holds a live entry for it, i.e. a
-    registered query is already running that exact subplan.
+    engine executes) and lowered privately to ``backend`` (defaulting to
+    the registry's backend, or "row"); a subtree is marked shared when
+    the registry currently holds a live entry for it, i.e. a registered
+    query is already running that exact subplan.
     """
     from repro.algebra.fingerprint import canonical_plan
     from repro.exec.lowering import lower
 
+    if backend is None:
+        backend = registry.backend if registry is not None else "row"
     canonical = canonical_plan(plan)
-    root = lower(canonical)
+    root = lower(canonical, backend=backend)
     entries = registry._entries if registry is not None else {}
     lines: list[str] = []
     seen: set[int] = set()
 
     def visit(executor: "Executor", depth: int) -> None:
         indent = "  " * depth
+        label = f"[{type(executor).__name__}/{executor.backend}]"
         if id(executor) in seen:
             lines.append(
-                f"{indent}{executor.node.symbol()}  [{type(executor).__name__}]"
+                f"{indent}{executor.node.symbol()}  {label}"
                 "  (shared node above)"
             )
             return
@@ -197,8 +212,7 @@ def render_physical(
             f"shared(refs={entry.refcount})" if entry is not None else "private"
         )
         lines.append(
-            f"{indent}{executor.node.symbol()}  "
-            f"[{type(executor).__name__}]  {status}"
+            f"{indent}{executor.node.symbol()}  {label}  {status}"
         )
         for child in executor.children:
             visit(child, depth + 1)

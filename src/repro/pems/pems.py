@@ -43,8 +43,10 @@ class PEMS:
     ``engine`` selects the execution engine for continuous queries
     registered through the query processor — ``"shared"`` (default:
     incremental execution with cross-query subplan sharing and the
-    quiescence-aware tick scheduler), ``"incremental"`` or ``"naive"``
-    (see :mod:`repro.continuous.continuous_query`).
+    quiescence-aware tick scheduler), ``"incremental"``, ``"columnar"``
+    or ``"naive"`` (see :mod:`repro.continuous.continuous_query`);
+    ``backend`` ("row"/"columnar") selects the physical delta
+    representation the plans lower to.
 
     ``policy`` sets the fault-tolerance :class:`InvocationPolicy` on the
     service registry (retry backoff, quarantine threshold); the default
@@ -64,6 +66,7 @@ class PEMS:
         engine: str = "shared",
         policy: InvocationPolicy | None = None,
         observe: "Observability | str | None" = None,
+        backend: str = "row",
     ):
         self.obs = Observability.coerce(observe)
         self.clock = VirtualClock()
@@ -86,6 +89,7 @@ class PEMS:
             self.tables,
             engine=engine,
             observe=self.obs,
+            backend=backend,
         )
         self._local_erms: dict[str, LocalEnvironmentResourceManager] = {}
 

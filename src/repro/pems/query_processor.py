@@ -96,8 +96,14 @@ class QueryProcessor:
         :mod:`repro.exec` with cross-query subplan sharing and the
         quiescence-aware tick scheduler), ``"incremental"`` (the same
         physical engine, one private plan per query, every query
-        evaluated every tick) or ``"naive"`` (full re-evaluation each
-        tick, the differential-testing oracle).
+        evaluated every tick), ``"columnar"`` (incremental with the
+        columnar backend) or ``"naive"`` (full re-evaluation each tick,
+        the differential-testing oracle).
+    backend:
+        Physical representation the processor's plans lower to — ``"row"``
+        or ``"columnar"``.  The shared-plan registry is built with this
+        backend, so it applies to every ``engine="shared"`` query; it is
+        also the default for per-query incremental plans.
     """
 
     def __init__(
@@ -108,12 +114,14 @@ class QueryProcessor:
         tables: ExtendedTableManager,
         engine: str = "shared",
         observe: "Observability | str | None" = None,
+        backend: str = "row",
     ):
         self.environment = environment
         self.clock = clock
         self.erm = erm
         self.tables = tables
         self.engine = engine
+        self.backend = "columnar" if engine == "columnar" else backend
         #: Observability facade shared across the processor, its scheduler,
         #: shared-plan registry and every registered query's engine.
         self.obs = (
@@ -131,7 +139,9 @@ class QueryProcessor:
         )
         #: Shared-subplan registry for engine="shared" queries: one per
         #: processor, so co-registered queries share physical subtrees.
-        self.shared = SharedPlanRegistry(environment, observe=self.obs)
+        self.shared = SharedPlanRegistry(
+            environment, observe=self.obs, backend=self.backend
+        )
         #: Quiescence-aware scheduler for engine="shared" queries.
         self.scheduler = TickScheduler(environment, observe=self.obs)
         erm.on_discovery(self.scheduler.on_discovery_event)
@@ -182,12 +192,17 @@ class QueryProcessor:
         name: str | None = None,
         keep_history: bool = False,
         engine: str | None = None,
+        backend: str | None = None,
     ) -> ContinuousQuery:
         """Compile a Serena SQL query and register it as continuous."""
         from repro.lang.sql import compile_sql
 
         return self.register_continuous(
-            compile_sql(text, self.environment, name), name, keep_history, engine
+            compile_sql(text, self.environment, name),
+            name,
+            keep_history,
+            engine,
+            backend,
         )
 
     # -- continuous queries ----------------------------------------------------------
@@ -198,15 +213,21 @@ class QueryProcessor:
         name: str | None = None,
         keep_history: bool = False,
         engine: str | None = None,
+        backend: str | None = None,
     ) -> ContinuousQuery:
         """Register a continuous query, evaluated at every tick from now on.
 
-        ``engine`` overrides the processor-wide engine for this query.
+        ``engine`` and ``backend`` override the processor-wide settings
+        for this query (a ``backend`` override only applies to private
+        plans — ``engine="shared"`` queries run on the processor's
+        registry, whose backend is fixed at construction).
         """
         key = name or query.name or f"query-{len(self._continuous) + 1}"
         if key in self._continuous:
             raise SerenaError(f"continuous query {key!r} already registered")
         effective = engine if engine is not None else self.engine
+        if backend is None and effective in ("incremental", "shared"):
+            backend = self.backend
         continuous = ContinuousQuery(
             query,
             self.environment,
@@ -214,6 +235,7 @@ class QueryProcessor:
             engine=effective,
             shared=self.shared if effective == "shared" else None,
             observe=self.obs,
+            backend=backend,
         )
         self._continuous[key] = continuous
         insort(self._order, key)

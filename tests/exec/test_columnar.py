@@ -1,0 +1,331 @@
+"""Unit tests for the columnar delta representation and the
+compile-at-lowering helpers.
+
+Covers the backend-neutral delta contract (coalesce, order-insensitive
+equality and repr — on both backends), the :class:`ColumnarDelta` dual
+lazy representation, :class:`ValuePool` interning, and the closures the
+lowering pass compiles once per executor: predicates, join-key gathers
+and join output combiners.
+"""
+
+import pytest
+
+from repro.algebra.formula import And, Not, Or, TrueFormula, col
+from repro.devices.scenario import surveillance_schema
+from repro.errors import FormulaError, SerenaError
+from repro.exec.columnar import ColumnarDelta, ValuePool, as_rows
+from repro.exec.delta import EMPTY_DELTA, Delta, coalesce_sets
+from repro.exec.lowering import (
+    compile_combiner,
+    compile_filter,
+    compile_key,
+    compile_predicate,
+    lowerings_for,
+)
+
+ANA = ("Ana", "office", 30.0)
+BO = ("Bo", "roof", 10.0)
+CY = ("Cy", "office", 20.0)
+
+
+# ---------------------------------------------------------------------------
+# ValuePool
+# ---------------------------------------------------------------------------
+
+
+class TestValuePool:
+    def test_ids_are_dense_and_stable(self):
+        pool = ValuePool()
+        assert pool.intern("a") == 0
+        assert pool.intern("b") == 1
+        assert pool.intern("a") == 0  # stable across calls
+        assert len(pool) == 2
+        assert "a" in pool and "z" not in pool
+        assert pool.value(1) == "b"
+
+    def test_intern_column(self):
+        pool = ValuePool()
+        pool.intern("x")
+        ids = pool.intern_column(["y", "x", "y", None])
+        assert ids == [1, 0, 1, 2]
+        assert pool.value(2) is None
+
+    def test_equal_keys_share_an_id(self):
+        # Interning follows == (like the row join's dict buckets).
+        pool = ValuePool()
+        assert pool.intern(1) == pool.intern(1.0)
+
+
+# ---------------------------------------------------------------------------
+# ColumnarDelta: dual representation and the delta contract
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarDelta:
+    def test_rows_to_columns_and_back(self):
+        delta = ColumnarDelta.from_rows([ANA, BO], [CY], width=3)
+        assert delta.insert_columns() == [
+            ["Ana", "Bo"], ["office", "roof"], [30.0, 10.0],
+        ]
+        assert delta.delete_columns() == [["Cy"], ["office"], [20.0]]
+        assert list(delta.insert_rows()) == [ANA, BO]
+        assert delta.insert_count == 2 and delta.delete_count == 1
+
+    def test_columns_to_rows(self):
+        delta = ColumnarDelta.from_columns(
+            [["Ana", "Bo"], ["office", "roof"], [30.0, 10.0]], [[], [], []], 3
+        )
+        assert list(delta.insert_rows()) == [ANA, BO]
+        assert list(delta.delete_rows()) == []
+        assert delta.inserted == {ANA, BO} and delta.deleted == frozenset()
+
+    def test_views_are_cached(self):
+        delta = ColumnarDelta.from_rows([ANA], [], width=3)
+        assert delta.insert_columns() is delta.insert_columns()
+        assert delta.inserted is delta.inserted
+        columnar = ColumnarDelta.from_columns([["Ana"]], [[]], 1)
+        assert columnar.insert_rows() is columnar.insert_rows()
+
+    def test_from_sets_is_zero_copy(self):
+        inserted = frozenset([ANA])
+        delta = ColumnarDelta.from_sets(inserted, frozenset(), width=3)
+        assert delta.inserted is inserted
+
+    def test_duplicates_and_none_survive_in_rows(self):
+        # The array form is a bag; set semantics only at the contract view.
+        delta = ColumnarDelta.from_rows(
+            [("x", None), ("x", None)], [], width=2
+        )
+        assert len(list(delta.insert_rows())) == 2
+        assert delta.insert_columns() == [["x", "x"], [None, None]]
+        assert delta.inserted == {("x", None)}
+
+    def test_width_zero(self):
+        delta = ColumnarDelta.from_columns([], [], 0, insert_count=2)
+        assert list(delta.insert_rows()) == [(), ()]
+        assert delta.inserted == {()}
+        assert delta.insert_count == 2 and delta.delete_count == 0
+
+    def test_truthiness_and_len(self):
+        assert not ColumnarDelta.from_rows([], [], width=3)
+        assert ColumnarDelta.from_rows([], [ANA], width=3)
+        assert len(ColumnarDelta.from_rows([ANA, BO], [CY], width=3)) == 3
+
+    def test_to_delta_and_coerce(self):
+        columnar = ColumnarDelta.from_rows([ANA], [BO], width=3)
+        row = columnar.to_delta()
+        assert isinstance(row, Delta)
+        assert row.inserted == {ANA} and row.deleted == {BO}
+        assert ColumnarDelta.from_rows([], [], 3).to_delta() is EMPTY_DELTA
+        assert ColumnarDelta.coerce(columnar, 3) is columnar
+        coerced = ColumnarDelta.coerce(row, 3)
+        assert isinstance(coerced, ColumnarDelta) and coerced == row
+
+    def test_as_rows_either_backend(self):
+        columnar = ColumnarDelta.from_rows([ANA], [BO], width=3)
+        ins, dels = as_rows(columnar)
+        assert list(ins) == [ANA] and list(dels) == [BO]
+        ins, dels = as_rows(Delta(frozenset([ANA]), frozenset()))
+        assert set(ins) == {ANA} and not set(dels)
+
+
+# ---------------------------------------------------------------------------
+# The shared contract: equality, repr, coalesce — on both backends
+# ---------------------------------------------------------------------------
+
+
+def both_backends(inserted, deleted, width=3):
+    return (
+        Delta(frozenset(inserted), frozenset(deleted)),
+        ColumnarDelta.from_rows(list(inserted), list(deleted), width),
+    )
+
+
+class TestDeltaContract:
+    def test_equality_is_order_insensitive(self):
+        for make in (
+            lambda ins, dels: Delta(frozenset(ins), frozenset(dels)),
+            lambda ins, dels: ColumnarDelta.from_rows(ins, dels, 3),
+        ):
+            assert make([ANA, BO], [CY]) == make([BO, ANA], [CY])
+
+    def test_cross_backend_equality_and_hash(self):
+        row, columnar = both_backends([ANA, BO], [CY])
+        assert row == columnar and columnar == row
+        assert hash(row) == hash(columnar)
+        assert row != Delta(frozenset([ANA]), frozenset())
+        assert row != object() and columnar != object()
+
+    def test_repr_is_deterministic_and_diffs_cleanly(self):
+        row, columnar = both_backends([BO, ANA], [])
+        assert repr(row) == (
+            "Delta(+2 {('Ana', 'office', 30.0), "
+            "('Bo', 'roof', 10.0)}, -0 {})"
+        )
+        # Same rendering, different head: a differential failure message
+        # shows exactly where the backends diverge.
+        assert repr(columnar) == "Columnar" + repr(row)
+        shuffled = ColumnarDelta.from_rows([ANA, BO], [], 3)
+        assert repr(columnar) == repr(shuffled)
+
+    def test_coalesce_cancels_insert_then_delete(self):
+        first = Delta(frozenset([ANA, BO]), frozenset())
+        later = Delta(frozenset([CY]), frozenset([ANA]))
+        merged = first.coalesce(later)
+        assert merged.inserted == {BO, CY}
+        assert merged.deleted == frozenset()
+
+    def test_coalesce_cancels_delete_then_insert(self):
+        first = Delta(frozenset(), frozenset([ANA]))
+        later = Delta(frozenset([ANA]), frozenset())
+        assert first.coalesce(later) is EMPTY_DELTA
+
+    def test_coalesce_both_backends_agree(self):
+        for first_ins, first_del, later_ins, later_del in [
+            ([ANA], [], [BO], [ANA]),
+            ([], [ANA], [ANA], [BO]),
+            ([ANA, BO], [CY], [CY], [BO]),
+        ]:
+            row_a, col_a = both_backends(first_ins, first_del)
+            row_b, col_b = both_backends(later_ins, later_del)
+            expected = row_a.coalesce(row_b)
+            # Columnar coalesce stays columnar and accepts either operand.
+            for later in (row_b, col_b):
+                merged = col_a.coalesce(later)
+                assert isinstance(merged, ColumnarDelta)
+                assert merged == expected
+            # Row coalesce accepts a columnar later operand too.
+            assert row_a.coalesce(col_b) == expected
+
+    def test_coalesce_sets_algebra(self):
+        ins, dels = coalesce_sets(
+            frozenset("ab"), frozenset("c"), frozenset("cd"), frozenset("a")
+        )
+        assert ins == frozenset("bd") and dels == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Compiled closures
+# ---------------------------------------------------------------------------
+
+
+SCHEMA = surveillance_schema()  # (name, location, threshold)
+ROWS = [ANA, BO, CY, ("Dee", "lab", None)]
+
+
+class TestCompilePredicate:
+    def agree(self, formula, rows=ROWS):
+        fast, slow = compile_predicate(formula, SCHEMA)
+        assert [fast(t) for t in rows] == [slow(t) for t in rows]
+        return fast
+
+    def test_comparisons(self):
+        fast = self.agree(col("location").eq("office"))
+        assert [fast(t) for t in ROWS] == [True, False, True, False]
+        self.agree(col("name").ne("Bo"))
+        self.agree(col("threshold").ge(20.0), rows=ROWS[:3])
+
+    def test_attribute_to_attribute(self):
+        from repro.algebra.formula import Comparison
+
+        formula = Comparison(
+            "name", "=", "location", left_is_attr=True, right_is_attr=True
+        )
+        fast, slow = compile_predicate(formula, SCHEMA)
+        rows = [("x", "x", 1.0), ("x", "y", 1.0)]
+        assert [fast(t) for t in rows] == [slow(t) for t in rows] == [True, False]
+
+    def test_connectives_short_circuit_like_the_interpreter(self):
+        formula = Or(
+            col("location").eq("roof"),
+            And(col("threshold").gt(25.0), Not(col("name").eq("Cy"))),
+        )
+        fast = self.agree(formula, rows=ROWS[:3])
+        assert [fast(t) for t in ROWS[:3]] == [True, True, False]
+        # Short circuit: the left disjunct passing must skip the right
+        # one, which would raise on Dee's None threshold.
+        assert fast(("Dee", "roof", None)) is True
+
+    def test_true_formula(self):
+        fast, slow = compile_predicate(TrueFormula(), SCHEMA)
+        assert fast(ANA) is True and slow(ANA) is True
+
+    def test_contains_error_parity(self):
+        # fast inlines native ``in`` (TypeError on non-strings) where the
+        # interpreter raises FormulaError; executors replay via slow.
+        fast, slow = compile_predicate(col("name").contains("n"), SCHEMA)
+        assert fast(ANA) is True and fast(BO) is False
+        with pytest.raises((TypeError, FormulaError)):
+            fast((None, "office", 1.0))
+        with pytest.raises(FormulaError):
+            slow((None, "office", 1.0))
+
+    def test_ordering_error_parity(self):
+        # fast raises a bare TypeError where the interpreter raises
+        # FormulaError; the executor replays the batch through slow.
+        fast, slow = compile_predicate(col("threshold").gt(25.0), SCHEMA)
+        bad = ("Dee", "lab", None)
+        with pytest.raises((TypeError, FormulaError)):
+            fast(bad)
+        with pytest.raises(FormulaError):
+            slow(bad)
+
+    def test_arbitrary_constants_survive(self):
+        # Constants bind through the namespace, never via repr().
+        class Odd:
+            def __eq__(self, other):
+                return other == "office"
+
+            def __hash__(self):
+                return 0
+
+        fast, _ = compile_predicate(col("location").eq(Odd()), SCHEMA)
+        assert fast(ANA) is True and fast(BO) is False
+
+
+class TestCompileFilter:
+    def test_batch_filter_agrees_with_the_interpreter(self):
+        formula = col("location").eq("office") & col("threshold").ge(20.0)
+        fast_batch, slow = compile_filter(formula, SCHEMA)
+        assert fast_batch(ROWS[:3]) == [t for t in ROWS[:3] if slow(t)]
+        assert fast_batch([]) == []
+
+    def test_batch_filter_error_escapes_for_replay(self):
+        fast_batch, slow = compile_filter(col("threshold").gt(25.0), SCHEMA)
+        with pytest.raises((TypeError, FormulaError)):
+            fast_batch(ROWS)  # Dee's None threshold poisons the batch
+        with pytest.raises(FormulaError):
+            [slow(t) for t in ROWS]
+
+
+class TestCompileKeyAndCombiner:
+    def test_empty_key(self):
+        keys = compile_key([])
+        assert keys([("a",), ("b",)]) == [(), ()]
+
+    def test_single_key_is_the_bare_value(self):
+        keys = compile_key([1])
+        assert keys([("a", "x"), ("b", "y")]) == ["x", "y"]
+
+    def test_composite_key_builds_tuples(self):
+        keys = compile_key([2, 0])
+        rows = [("a", "x", 1), ("b", "y", 2)]
+        assert keys(rows) == [(1, "a"), (2, "b")]
+
+    def test_combiner(self):
+        combine = compile_combiner([(True, 0), (False, 2), (True, 1)])
+        assert combine(("a", "b"), ("x", "y", "z")) == ("a", "z", "b")
+        single = compile_combiner([(False, 0)])
+        assert single(("a",), ("x",)) == ("x",)
+
+
+class TestBackendTable:
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(SerenaError, match="row, columnar"):
+            lowerings_for("simd")
+
+    def test_tables_cover_the_same_operators(self):
+        row = lowerings_for("row")
+        columnar = lowerings_for("columnar")
+        assert row.keys() == columnar.keys()
+        assert lowerings_for("columnar") is columnar  # cached

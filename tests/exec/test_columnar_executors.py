@@ -1,0 +1,253 @@
+"""Integration tests for the columnar backend: engine sugar, backend
+validation at every seam, mixed row/columnar trees, EXPLAIN ANALYZE
+reporting and backend-aware tick-cost scoring.
+
+Tuple-level correctness is pinned by the four-engine differentials
+(:mod:`tests.exec.test_differential`); these tests cover the plumbing
+around the executors.
+"""
+
+import pytest
+
+from repro.algebra import col, scan
+from repro.algebra.context import EvaluationContext
+from repro.algebra.cost import COLUMNAR_TUPLE_FACTOR, CostModel
+from repro.algebra.optimizer import Optimizer
+from repro.continuous.continuous_query import ContinuousQuery
+from repro.continuous.xdrelation import XDRelation
+from repro.devices.paper_example import build_paper_example
+from repro.devices.scenario import build_temperature_surveillance
+from repro.errors import SerenaError
+from repro.exec.columnar import ColumnarDelta
+from repro.exec.lowering import lower
+from repro.exec.shared import SharedPlanRegistry
+from repro.exec.vectorized import ColumnarExecutor, ColumnarScanExec
+from repro.obs.analyze import analyze_rows, render_analyze
+
+
+def paper_env():
+    return build_paper_example().environment
+
+
+def contacts_query(env, name="q"):
+    return (
+        scan(env, "contacts")
+        .select(col("name").ne("Carla"))
+        .project("name", "address")
+        .query(name)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine sugar and backend validation
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_columnar_engine_is_incremental_sugar(self):
+        env = paper_env()
+        cq = ContinuousQuery(contacts_query(env), env, engine="columnar")
+        assert cq.engine == "incremental"
+        assert cq.backend == "columnar"
+        assert any(e.backend == "columnar" for e in cq.executors())
+
+    def test_explicit_backend_on_incremental(self):
+        env = paper_env()
+        cq = ContinuousQuery(
+            contacts_query(env), env, engine="incremental", backend="columnar"
+        )
+        assert cq.backend == "columnar"
+        default = ContinuousQuery(contacts_query(env), env)
+        assert default.backend == "row"
+        assert all(e.backend == "row" for e in default.executors())
+
+    def test_columnar_engine_rejects_row_backend(self):
+        env = paper_env()
+        with pytest.raises(SerenaError, match="columnar"):
+            ContinuousQuery(
+                contacts_query(env), env, engine="columnar", backend="row"
+            )
+
+    def test_naive_engine_rejects_columnar_backend(self):
+        env = paper_env()
+        with pytest.raises(SerenaError, match="naive"):
+            ContinuousQuery(
+                contacts_query(env), env, engine="naive", backend="columnar"
+            )
+
+    def test_shared_registry_backend_mismatch_is_an_error(self):
+        env = paper_env()
+        registry = SharedPlanRegistry(env, backend="columnar")
+        cq = ContinuousQuery(
+            contacts_query(env), env, engine="shared", shared=registry
+        )
+        assert cq.backend == "columnar"  # inherited from the registry
+        with pytest.raises(SerenaError, match="backend"):
+            ContinuousQuery(
+                contacts_query(env, "q2"), env, engine="shared",
+                shared=registry, backend="row",
+            )
+        cq.release()
+
+    def test_mixed_tree_keeps_row_executors_for_beta(self):
+        env = paper_env()
+        query = (
+            scan(env, "contacts")
+            .select(col("name").ne("Carla"))
+            .assign("text", "Hi")
+            .invoke("sendMessage")
+            .query("q")
+        )
+        root = lower(query.root, backend="columnar")
+        backends = {type(e).__name__: e.backend for e in root.walk()}
+        assert backends["ColumnarScanExec"] == "columnar"
+        assert backends["ColumnarSelectionExec"] == "columnar"
+        assert backends["InvocationExec"] == "row"
+
+
+# ---------------------------------------------------------------------------
+# Columnar executors through the engine
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarExecution:
+    def test_change_deltas_are_columnar(self):
+        env = paper_env()
+        root = lower(contacts_query(env).root, backend="columnar")
+        ctx = EvaluationContext(env, 0, states={}, continuous=True)
+        change = root.tick(ctx)
+        assert isinstance(change, ColumnarDelta)
+        assert change.inserted  # the contacts rows minus Carla, projected
+        assert root.current == change.inserted
+
+    def test_scan_is_both_columnar_and_a_journaled_scan(self):
+        # MRO matters: StreamingExec._journal_scan_child isinstance-checks
+        # ScanExec, so the columnar scan must remain one.
+        from repro.exec.executors import ScanExec
+
+        env = paper_env()
+        root = lower(scan(env, "contacts").query("q").root, backend="columnar")
+        assert isinstance(root, ColumnarScanExec)
+        assert isinstance(root, ColumnarExecutor)
+        assert isinstance(root, ScanExec)
+
+    def test_batch_stats_accumulate(self):
+        env = paper_env()
+        cq = ContinuousQuery(contacts_query(env), env, engine="columnar")
+        cq.evaluate_at(0)
+        cq.evaluate_at(1)
+        columnar = [e for e in cq.executors() if e.backend == "columnar"]
+        assert columnar
+        for executor in columnar:
+            assert executor.stats.batches == 2
+        # The first tick moved the whole relation as one batch.
+        assert any(e.stats.batch_rows > 0 for e in columnar)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeBackendColumn:
+    def test_rows_carry_backend_and_batch_fields(self):
+        env = paper_env()
+        cq = ContinuousQuery(contacts_query(env), env, engine="columnar")
+        cq.evaluate_at(0)
+        rows = analyze_rows(cq)
+        assert rows
+        assert {r["backend"] for r in rows} == {"columnar"}
+        for row in rows:
+            assert row["batches"] == 1
+            assert row["batch_rows"] >= 0
+
+    def test_render_shows_backend_and_batches(self):
+        env = paper_env()
+        cq = ContinuousQuery(contacts_query(env), env, engine="columnar")
+        cq.evaluate_at(0)
+        text = render_analyze(cq)
+        assert "/columnar]" in text
+        assert "batches=1" in text
+
+    def test_row_backend_rows_have_no_batch_fields(self):
+        env = paper_env()
+        cq = ContinuousQuery(contacts_query(env), env)
+        cq.evaluate_at(0)
+        rows = analyze_rows(cq)
+        assert {r["backend"] for r in rows} == {"row"}
+        assert all("batches" not in r for r in rows)
+
+
+# ---------------------------------------------------------------------------
+# PEMS plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestPemsBackend:
+    def test_scenario_runs_on_the_columnar_engine(self):
+        scenario = build_temperature_surveillance(engine="columnar")
+        scenario.run(3)
+        alerts = scenario.queries["alerts"]
+        assert alerts.backend == "columnar"
+        assert any(e.backend == "columnar" for e in alerts.executors())
+
+    def test_pems_backend_reaches_the_shared_registry(self):
+        from repro.pems.pems import PEMS
+
+        pems = PEMS(engine="shared", backend="columnar")
+        assert pems.queries.shared.backend == "columnar"
+
+
+# ---------------------------------------------------------------------------
+# Backend-aware costing
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarCosting:
+    def plan(self, env):
+        return (
+            scan(env, "contacts")
+            .select(col("name").ne("Carla"))
+            .project("name")
+            .query("q")
+        )
+
+    def test_columnar_ticks_are_cheaper(self):
+        env = paper_env()
+        model = CostModel(env)
+        plan = self.plan(env)
+        row = model.tick_cost(plan, engine="incremental")
+        columnar = model.tick_cost(plan, engine="incremental", backend="columnar")
+        assert columnar.total < row.total
+        assert columnar.tuples_processed == pytest.approx(
+            COLUMNAR_TUPLE_FACTOR * row.tuples_processed
+        )
+
+    def test_columnar_engine_sugar_in_tick_cost(self):
+        env = paper_env()
+        model = CostModel(env)
+        plan = self.plan(env)
+        assert model.tick_cost(plan, engine="columnar") == model.tick_cost(
+            plan, engine="incremental", backend="columnar"
+        )
+
+    def test_service_cost_is_not_scaled(self):
+        env = paper_env()
+        model = CostModel(env)
+        plan = (
+            scan(env, "contacts")
+            .assign("text", "Hi")
+            .invoke("sendMessage")
+            .query("q")
+        )
+        row = model.tick_cost(plan, engine="incremental")
+        columnar = model.tick_cost(plan, engine="columnar")
+        assert columnar.invocations == row.invocations
+        assert columnar.total < row.total  # only the tuple work shrank
+
+    def test_optimizer_accepts_a_backend(self):
+        env = paper_env()
+        model = CostModel(env)
+        optimizer = Optimizer(model, engine="incremental", backend="columnar")
+        outcome = optimizer.optimize(self.plan(env))
+        assert outcome.cost.total <= outcome.original_cost.total

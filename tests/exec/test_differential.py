@@ -1,9 +1,10 @@
-"""Differential tests: incremental engine vs the naive oracle.
+"""Differential tests: every physical engine vs the naive oracle.
 
 Every Table 4 query plus the Section 5.2 temperature/RSS scenarios run on
-both engines in lockstep — two independent but identically-scripted
-environments, ≥ 50 instants, with relation churn and service churn along
-the way.  At every instant the engines must agree on:
+all four engines (naive, incremental, shared, columnar) in lockstep —
+independent but identically-scripted environments, ≥ 50 instants, with
+relation churn and service churn along the way.  At every instant the
+engines must agree on:
 
 * the instantaneous result relation,
 * the reported delta (``inserted``/``deleted``),
@@ -33,6 +34,9 @@ from repro.devices.scenario import (
 )
 
 TICKS = 55  # ≥ 50 instants per the acceptance criteria
+
+#: The naive oracle plus every physical engine it pins down.
+ENGINES = ("naive", "incremental", "shared", "columnar")
 
 
 # ---------------------------------------------------------------------------
@@ -203,7 +207,7 @@ def ghost_camera_churn(rig, instant):
 
 
 def reported_delta(cq, instant):
-    if cq.engine == "incremental":
+    if cq._engine is not None:
         delta = cq._engine.reported
         return frozenset(delta.inserted), frozenset(delta.deleted)
     ctx = EvaluationContext(cq.environment, instant, cq._states, continuous=True)
@@ -224,12 +228,12 @@ def action_strings(actions):
     return sorted(a.describe() for a in actions)
 
 
-def run_differential(make_query, scripts, ticks=TICKS):
-    """Run one Table 4 query on both engines over identically-scripted
-    environments; assert instant-by-instant agreement."""
+def run_differential(make_query, scripts, ticks=TICKS, engines=ENGINES):
+    """Run one Table 4 query on every engine over identically-scripted
+    environments; assert instant-by-instant agreement with the oracle."""
     rigs = {}
     queries = {}
-    for engine in ("naive", "incremental"):
+    for engine in engines:
         rig = Rig()
         rigs[engine] = rig
         queries[engine] = ContinuousQuery(
@@ -237,7 +241,7 @@ def run_differential(make_query, scripts, ticks=TICKS):
         )
     for instant in range(1, ticks + 1):
         per_engine = {}
-        for engine in ("naive", "incremental"):
+        for engine in engines:
             rig = rigs[engine]
             for script in scripts:
                 script(rig, instant)
@@ -247,19 +251,23 @@ def run_differential(make_query, scripts, ticks=TICKS):
                 reported_delta(queries[engine], instant),
                 frozenset(result.actions),
             )
-        naive, incremental = per_engine["naive"], per_engine["incremental"]
-        assert incremental[0] == naive[0], f"relation differs at {instant}"
-        assert incremental[1] == naive[1], f"delta differs at {instant}"
-        assert incremental[2] == naive[2], f"actions differ at {instant}"
-    cq_n, cq_i = queries["naive"], queries["incremental"]
-    assert sorted(cq_i.emitted) == sorted(cq_n.emitted)
-    assert action_strings(cq_i.actions) == action_strings(cq_n.actions)
-    assert [a.describe() for a in cq_i.action_log] == [
-        a.describe() for a in cq_n.action_log
-    ]
-    assert outbox_key(rigs["incremental"].paper.outbox) == outbox_key(
-        rigs["naive"].paper.outbox
-    )
+        naive = per_engine["naive"]
+        for engine in engines[1:]:
+            got = per_engine[engine]
+            assert got[0] == naive[0], f"{engine} relation differs at {instant}"
+            assert got[1] == naive[1], f"{engine} delta differs at {instant}"
+            assert got[2] == naive[2], f"{engine} actions differ at {instant}"
+    cq_n = queries["naive"]
+    for engine in engines[1:]:
+        cq = queries[engine]
+        assert sorted(cq.emitted) == sorted(cq_n.emitted), engine
+        assert action_strings(cq.actions) == action_strings(cq_n.actions), engine
+        assert [a.describe() for a in cq.action_log] == [
+            a.describe() for a in cq_n.action_log
+        ], engine
+        assert outbox_key(rigs[engine].paper.outbox) == outbox_key(
+            rigs["naive"].paper.outbox
+        ), engine
     return queries
 
 
@@ -325,17 +333,20 @@ def drive_temperature_scenario(engine):
 
 def test_temperature_scenario_differential():
     naive, naive_snaps = drive_temperature_scenario("naive")
-    incr, incr_snaps = drive_temperature_scenario("incremental")
-    assert incr_snaps == naive_snaps
-    for name in naive.queries:
-        cq_n, cq_i = naive.queries[name], incr.queries[name]
-        assert sorted(cq_i.emitted) == sorted(cq_n.emitted), name
-        assert action_strings(cq_i.actions) == action_strings(cq_n.actions), name
-        assert [a.describe() for a in cq_i.action_log] == [
-            a.describe() for a in cq_n.action_log
-        ], name
-    assert outbox_key(incr.outbox) == outbox_key(naive.outbox)
-    # The churn script had observable consequences on both engines.
+    for engine in ENGINES[1:]:
+        run, snaps = drive_temperature_scenario(engine)
+        assert snaps == naive_snaps, engine
+        for name in naive.queries:
+            cq_n, cq = naive.queries[name], run.queries[name]
+            assert sorted(cq.emitted) == sorted(cq_n.emitted), (engine, name)
+            assert action_strings(cq.actions) == action_strings(
+                cq_n.actions
+            ), (engine, name)
+            assert [a.describe() for a in cq.action_log] == [
+                a.describe() for a in cq_n.action_log
+            ], (engine, name)
+        assert outbox_key(run.outbox) == outbox_key(naive.outbox), engine
+    # The churn script had observable consequences on every engine.
     assert naive.outbox.messages
     assert naive.queries["cold-photos"].emitted
 
@@ -360,11 +371,14 @@ def drive_rss_scenario(engine):
 
 def test_rss_scenario_differential():
     naive, naive_snaps = drive_rss_scenario("naive")
-    incr, incr_snaps = drive_rss_scenario("incremental")
-    assert incr_snaps == naive_snaps
-    for name in naive.queries:
-        cq_n, cq_i = naive.queries[name], incr.queries[name]
-        assert action_strings(cq_i.actions) == action_strings(cq_n.actions), name
-    assert outbox_key(incr.outbox) == outbox_key(naive.outbox)
+    for engine in ENGINES[1:]:
+        run, snaps = drive_rss_scenario(engine)
+        assert snaps == naive_snaps, engine
+        for name in naive.queries:
+            cq_n, cq = naive.queries[name], run.queries[name]
+            assert action_strings(cq.actions) == action_strings(
+                cq_n.actions
+            ), (engine, name)
+        assert outbox_key(run.outbox) == outbox_key(naive.outbox), engine
     # Matching news flowed, and some alert was attempted before the churn.
     assert any(snap["matching-news"] for snap in naive_snaps)

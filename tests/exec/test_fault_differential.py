@@ -15,7 +15,7 @@ from repro.model.invocation_policy import InvocationPolicy
 
 from tests.exec.test_differential import TICKS, action_strings, outbox_key
 
-ENGINES = ("naive", "incremental", "shared")
+ENGINES = ("naive", "incremental", "shared", "columnar")
 
 #: One fault mode per sensor, overlapping the churn script below.
 FAULTS = {

@@ -1,0 +1,141 @@
+"""Property-based round-trips for the columnar delta representation.
+
+The core invariant of the columnar backend: transposing rows to
+per-attribute arrays and back is the identity — order- and
+duplicate-preserving on the array views, set-equal on the delta-contract
+views — for arbitrary values (``None``, mixed types) and for the output
+schema of every operator in the Table 4 plans.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.columnar import ColumnarDelta
+from repro.exec.delta import Delta
+
+from tests.exec.test_differential import Rig, q1, q2, q3, q4
+
+# Anything a device row might hold, including None and mixed types.
+values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+)
+
+
+def rows_of(width: int, max_size: int = 12):
+    """Row-tuple lists of fixed arity; duplicates are likely and wanted."""
+    return st.lists(
+        st.tuples(*[values] * width), max_size=max_size
+    ).flatmap(
+        lambda rows: st.just(rows)
+        if len(rows) < 2
+        else st.just(rows + rows[:2])  # force duplicate tuples
+    )
+
+
+#: The real-attribute widths of every operator output schema in the four
+#: Table 4 plans (Table 3 operators all appear as subtrees).
+def table4_widths() -> list:
+    rig = Rig()
+    widths = set()
+    for make in (q1, q2, q3, q4):
+        for node in make(rig.env).root.walk():
+            widths.add(len(node.schema.real_attributes))
+    return sorted(widths)
+
+
+WIDTHS = table4_widths()
+
+
+class TestRowColumnRoundTrip:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_rows_to_columns_to_rows_is_identity(self, data):
+        width = data.draw(st.sampled_from(WIDTHS), label="width")
+        inserted = data.draw(rows_of(width), label="inserted")
+        deleted = data.draw(rows_of(width), label="deleted")
+        delta = ColumnarDelta.from_rows(inserted, deleted, width)
+        columns = delta.insert_columns()
+        assert len(columns) == width
+        rebuilt = ColumnarDelta.from_columns(
+            columns,
+            delta.delete_columns(),
+            width,
+            insert_count=len(inserted),
+            delete_count=len(deleted),
+        )
+        # Array views: exact identity, order and duplicates preserved.
+        assert list(rebuilt.insert_rows()) == list(inserted)
+        assert list(rebuilt.delete_rows()) == list(deleted)
+        # Contract views: set semantics.
+        assert rebuilt.inserted == frozenset(inserted)
+        assert rebuilt.deleted == frozenset(deleted)
+        assert rebuilt == delta
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_from_sets_round_trip(self, data):
+        width = data.draw(st.sampled_from(WIDTHS), label="width")
+        inserted = frozenset(data.draw(rows_of(width), label="inserted"))
+        delta = ColumnarDelta.from_sets(inserted, frozenset(), width)
+        assert delta.inserted is inserted
+        assert frozenset(delta.insert_rows()) == inserted
+        assert len(delta.insert_columns()) == width
+        assert frozenset(
+            ColumnarDelta.from_columns(
+                delta.insert_columns(), [[] for _ in range(width)], width,
+                insert_count=len(inserted),
+            ).insert_rows()
+        ) == inserted
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_through_the_row_contract(self, data):
+        width = data.draw(st.sampled_from(WIDTHS), label="width")
+        rows = data.draw(rows_of(width), label="rows")
+        columnar = ColumnarDelta.from_rows(rows, [], width)
+        row_delta = columnar.to_delta()
+        back = ColumnarDelta.coerce(row_delta, width)
+        assert back == columnar == row_delta
+
+
+class TestCoalesceProperty:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_coalesce_equals_sequential_application(self, data):
+        width = data.draw(st.sampled_from(WIDTHS), label="width")
+        state = frozenset(data.draw(rows_of(width), label="state"))
+        first_ins = frozenset(data.draw(rows_of(width), label="first_ins"))
+        later_ins = frozenset(data.draw(rows_of(width), label="later_ins"))
+
+        def deletions_from(current, label):
+            if not current:
+                return frozenset()
+            return frozenset(
+                data.draw(
+                    st.sets(st.sampled_from(sorted(current, key=repr))),
+                    label=label,
+                )
+            )
+
+        # Contract-respecting deltas against the evolving state: inserts
+        # are absent from it, deletes are members of it.
+        first = Delta(first_ins - state, deletions_from(state, "first_del"))
+        mid = (state | first.inserted) - first.deleted
+        later = Delta(later_ins - mid, deletions_from(mid, "later_del"))
+        sequential = (mid | later.inserted) - later.deleted
+        for a, b in [
+            (first, later),
+            (ColumnarDelta.coerce(first, width), later),
+            (first, ColumnarDelta.coerce(later, width)),
+            (
+                ColumnarDelta.coerce(first, width),
+                ColumnarDelta.coerce(later, width),
+            ),
+        ]:
+            merged = a.coalesce(b)
+            assert (state | merged.inserted) - merged.deleted == sequential
+            # The merged delta is disjoint (a well-formed two-delta).
+            assert not merged.inserted & merged.deleted
