@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CI guard: every committed ``BENCH_*.json`` artifact is well-formed.
+
+The benchmark suite writes machine-readable result artifacts to the
+repository root (one JSON object per experiment).  This script validates
+each one: it must parse as a single JSON object and carry the required
+metadata keys — ``mode`` ("smoke" or "full") and an integer ``ticks`` —
+so a bench refactor cannot silently commit an artifact downstream
+tooling can no longer read.  Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Keys every benchmark artifact must record.
+REQUIRED_KEYS = ("mode", "ticks")
+MODES = ("smoke", "full")
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: does not parse — {error}"]
+    if not isinstance(payload, dict):
+        return [f"{path.name}: top level is {type(payload).__name__}, not an object"]
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{path.name}: missing required key {key!r}")
+    mode = payload.get("mode")
+    if "mode" in payload and mode not in MODES:
+        problems.append(f"{path.name}: mode {mode!r} not in {MODES}")
+    if "ticks" in payload and not isinstance(payload["ticks"], int):
+        problems.append(f"{path.name}: ticks is not an integer")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if not artifacts:
+        print("no BENCH_*.json artifacts found at the repository root")
+        return 1
+    problems: list[str] = []
+    for path in artifacts:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        names = ", ".join(p.name for p in artifacts)
+        print(f"ok: {len(artifacts)} artifacts valid ({names})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,12 @@ class EvaluationContext:
         # across instants; one-shot evaluation leaves it None and gets a
         # fresh, throw-away store.
         self._states: dict[int, dict[str, Any]] = states if states is not None else {}
+        # Optional per-instant journal read cache, installed by engines
+        # that share it across executors (the shared registry hands one
+        # per tick): (relation id, start, stop) → journal chunk list, so
+        # N scans over the same XD-Relation fold the journal once.
+        self.journal_cache: dict | None = None
+
 
     def state(self, node: "Operator") -> dict[str, Any]:
         """Per-node mutable state (empty dict on first access)."""
@@ -69,6 +75,10 @@ class EvaluationContext:
         invocation caches and window buffers.  Collected actions are *not*
         shared: each instant has its own action list.
         """
-        return EvaluationContext(
+        ctx = EvaluationContext(
             self.environment, instant, self._states, self.continuous
         )
+        # Cache keys carry the stop instant, so sharing across instants
+        # is sound (entries for other instants simply never match).
+        ctx.journal_cache = self.journal_cache
+        return ctx

@@ -53,6 +53,10 @@ DEFAULT_CHURN = 0.01
 #: join probes replace per-row interpretation (calibrated against the
 #: row-vs-columnar sweep in ``benchmarks/test_bench_tick_cost.py``).
 COLUMNAR_TUPLE_FACTOR = 0.2
+#: Per-shard merge overhead of a gathered subtree, as a fraction of the
+#: subtree's per-tick delta: the coordinator re-counts every delta row
+#: once per contributing zone (support counting in the gather executor).
+SHARD_MERGE_FACTOR = 0.05
 
 
 @dataclass(frozen=True)
@@ -230,6 +234,7 @@ class CostModel:
         engine: str = "incremental",
         churn: float = DEFAULT_CHURN,
         backend: str = "row",
+        shards: int = 1,
     ) -> PlanCost:
         """Estimated *steady-state per-tick* cost of a registered
         continuous query.
@@ -252,6 +257,15 @@ class CostModel:
         executor under the columnar backend are unaffected, as is
         service cost — the network does not get faster because the
         deltas are columns.
+
+        ``shards > 1`` models the federated engine: every maximal
+        σ/π/ρ/α-over-scan chain (the scatterable subtrees of
+        :mod:`repro.fed.registry`) processes ``1/shards`` of its delta
+        per zone, and the chain root pays the gather merge —
+        ``shards × SHARD_MERGE_FACTOR`` of its delta — at the
+        coordinator.  Non-scatterable operators (joins, windows,
+        invocations) and all service costs are unaffected: they run at
+        the coordinator either way.
         """
         root = plan.root if isinstance(plan, Query) else plan
         if engine == "columnar":
@@ -264,6 +278,9 @@ class CostModel:
             supported_operator = lambda node: False  # noqa: E731
             columnar_operator = lambda node: False  # noqa: E731
         columnar = backend == "columnar"
+        chain_members, chain_roots = (
+            _scatter_chains(root) if shards > 1 else (frozenset(), frozenset())
+        )
         invocations = 0.0
         tuples = 0.0
 
@@ -276,7 +293,16 @@ class CostModel:
                     if columnar and columnar_operator(node)
                     else 1.0
                 )
-                tuples += factor * self.delta_cardinality(node, churn)
+                delta = factor * self.delta_cardinality(node, churn)
+                if node.uid in chain_members:
+                    delta /= shards
+                    if node.uid in chain_roots:
+                        delta += (
+                            shards
+                            * SHARD_MERGE_FACTOR
+                            * self.delta_cardinality(node, churn)
+                        )
+                tuples += delta
             else:
                 tuples += self.cardinality(node)
             if isinstance(node, Invocation):
@@ -300,3 +326,33 @@ class CostModel:
             invocations=invocations,
             tuples_processed=tuples,
         )
+
+
+def _scatter_chains(root: Operator) -> tuple[frozenset[int], frozenset[int]]:
+    """Node uids of maximal σ/π/ρ/α-over-one-scan chains (the subtrees
+    the federated registry scatters), plus the uids of the chain roots.
+    The scan leaf belongs to its chain: each zone scans only its own
+    partition's delta."""
+    chain_kinds = (Selection, Projection, Renaming, Assignment)
+    members: set[int] = set()
+    roots: set[int] = set()
+
+    def heads_chain(node: Operator) -> bool:
+        cur = node
+        while isinstance(cur, chain_kinds):
+            cur = cur.children[0]
+        return isinstance(cur, Scan)
+
+    def walk(node: Operator, parent_in_chain: bool) -> None:
+        in_chain = isinstance(node, chain_kinds) and heads_chain(node)
+        if in_chain:
+            members.add(node.uid)
+            if not parent_in_chain:
+                roots.add(node.uid)
+        elif parent_in_chain and isinstance(node, Scan):
+            members.add(node.uid)
+        for child in node.children:
+            walk(child, in_chain)
+
+    walk(root, False)
+    return frozenset(members), frozenset(roots)

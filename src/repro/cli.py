@@ -21,6 +21,12 @@ Run ``python -m repro`` for an interactive session, or
   ``.explain physical ...`` the lowered physical plan (executor classes,
                             backends, shared/private markers); accepts an
                             optional backend: ``.explain physical columnar``
+  ``.explain federated ..`` the federated execution plan: which subtrees
+                            scatter to which zone shards (needs a
+                            federated PEMS — ``.demo`` accepts e.g.
+                            ``temperature federated``)
+  ``.shards``               per-zone shard state of a federated PEMS:
+                            services, rows, scattered subplans
   ``.analyze [name]``       EXPLAIN ANALYZE of registered continuous
                             queries: per-executor cumulative run stats
   ``.metrics [json]``       the metrics registry (Prometheus text, or a
@@ -73,6 +79,7 @@ class SerenaShell:
             "result": self._cmd_result,
             "actions": self._cmd_actions,
             "explain": self._cmd_explain,
+            "shards": self._cmd_shards,
             "analyze": self._cmd_analyze,
             "metrics": self._cmd_metrics,
             "trace": self._cmd_trace,
@@ -199,32 +206,66 @@ class SerenaShell:
         self._print(actions.describe() if actions else "(no actions yet)")
 
     def _cmd_explain(self, argument: str) -> None:
-        from repro.lang.printer import explain, explain_physical
+        from repro.lang.printer import explain, explain_federated, explain_physical
 
         from repro.exec.lowering import BACKENDS
 
-        physical = False
+        mode = "logical"
         backend: str | None = None
         head, _, rest = argument.partition(" ")
-        if head.lower() == "physical":
-            physical = True
+        if head.lower() in ("physical", "federated"):
+            mode = head.lower()
             argument = rest.strip()
             head, _, rest = argument.partition(" ")
-            if head.lower() in BACKENDS:
+            if mode == "physical" and head.lower() in BACKENDS:
                 backend = head.lower()
                 argument = rest.strip()
         if not argument:
-            self._print("usage: .explain [physical [row|columnar]] SELECT ...")
+            self._print(
+                "usage: .explain [physical [row|columnar] | federated] "
+                "SELECT ..."
+            )
             return
         query = compile_sql(argument.rstrip(";"), self.pems.environment)
-        if physical:
+        if mode == "physical":
             self._print(
                 explain_physical(
                     query, self.pems.queries.shared, backend=backend
                 )
             )
+        elif mode == "federated":
+            self._print(explain_federated(query, self.pems.queries.shared))
         else:
             self._print(explain(query))
+
+    def _cmd_shards(self, argument: str) -> None:
+        summary = getattr(self.pems, "shard_summary", None)
+        if summary is None:
+            self._print("(not a federated PEMS — no zone shards)")
+            return
+        payload = summary()
+        mode = payload["parallelism"] or "lockstep"
+        self._print(
+            f"{len(payload['zones'])} zones, {mode}, "
+            f"gossip relayed {payload['gossip_relayed']}"
+        )
+        for zone in payload["zones"]:
+            self._print(
+                f"  {zone['zone']}: services={zone['services']} "
+                f"relations={zone['relations']} rows={zone['rows']} "
+                f"subplans={zone['subplans']}"
+            )
+        scattered = payload["scattered"]
+        if not scattered:
+            self._print("(no scattered subtrees)")
+            return
+        self._print("scattered subtrees:")
+        for row in scattered:
+            pruned = "  (pruned)" if row["pruned"] else ""
+            self._print(
+                f"  {row['fingerprint']} {row['operator']} "
+                f"refs={row['refcount']} zones={','.join(row['zones'])}{pruned}"
+            )
 
     def _cmd_analyze(self, argument: str) -> None:
         from repro.lang.printer import explain_analyze
@@ -363,16 +404,18 @@ class SerenaShell:
             build_temperature_surveillance,
         )
 
-        if argument == "temperature":
-            self._scenario = build_temperature_surveillance()
-        elif argument == "rss":
-            self._scenario = build_rss_scenario()
+        name, _, engine = argument.partition(" ")
+        engine = engine.strip() or "incremental"
+        if name == "temperature":
+            self._scenario = build_temperature_surveillance(engine=engine)
+        elif name == "rss":
+            self._scenario = build_rss_scenario(engine=engine)
         else:
-            self._print("usage: .demo temperature|rss")
+            self._print("usage: .demo temperature|rss [engine]")
             return
         self.pems = self._scenario.pems
         self._print(
-            f"loaded the {argument} scenario "
+            f"loaded the {name} scenario (engine={engine}) "
             f"({len(self.pems.environment.registry)} services, "
             f"{len(self.pems.environment.relation_names)} relations); "
             ".tick to advance"

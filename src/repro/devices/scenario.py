@@ -46,6 +46,35 @@ from repro.model.types import DataType
 from repro.model.xschema import ExtendedRelationSchema
 from repro.pems.pems import PEMS
 
+
+#: Zone count used by the ``federated*`` scenario engines.
+FEDERATED_ZONES = 4
+
+
+def _make_pems(engine: str, policy, observe) -> PEMS:
+    """The PEMS behind a scenario ``engine`` string.
+
+    The ``federated``, ``federated-threads`` and ``federated-processes``
+    engines build a :class:`~repro.fed.pems.FederatedPEMS` (4 zones,
+    shared-engine queries over scattered shards); every other value is a
+    query-engine name passed through to a plain :class:`PEMS`.
+    """
+    if engine.startswith("federated"):
+        from repro.fed.pems import FederatedPEMS  # fed layers on devices' deps
+
+        parallelism = {
+            "federated": None,
+            "federated-threads": "threads",
+            "federated-processes": "processes",
+        }[engine]
+        return FederatedPEMS(
+            zones=FEDERATED_ZONES,
+            policy=policy,
+            observe=observe,
+            parallelism=parallelism,
+        )
+    return PEMS(engine=engine, policy=policy, observe=observe)
+
 __all__ = [
     "Scenario",
     "build_temperature_surveillance",
@@ -304,7 +333,7 @@ def build_temperature_surveillance(
     ``messenger_failure_rate`` flakiness.  ``observe`` sets the
     observability mode (see :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS(engine=engine, policy=policy, observe=observe)
+    pems = _make_pems(engine, policy, observe)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)
@@ -456,7 +485,7 @@ def build_rss_scenario(
     ``engine`` selects the continuous-query execution engine (see
     :class:`~repro.pems.pems.PEMS`).
     """
-    pems = PEMS(engine=engine, policy=policy, observe=observe)
+    pems = _make_pems(engine, policy, observe)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)

@@ -42,17 +42,33 @@ __all__ = ["ColumnarDelta", "ValuePool", "as_rows"]
 
 _NO_ROWS: tuple = ()
 
+#: Pool size below which :meth:`ValuePool.maybe_compact` never triggers.
+#: High-churn join keys (sensor readings keyed by ``(value, instant)``,
+#: rotating session ids...) intern a fresh value every tick and never
+#: look it up again — without a bound the pool grows monotonically for
+#: the life of the executor.
+POOL_COMPACT_THRESHOLD = 4096
+
 
 class ValuePool:
     """Interns values to dense integer ids (id 0, 1, 2, … in first-seen
     order).  One pool per columnar join executor: the ids are private to
-    the executor's hash indexes and never leave it."""
+    the executor's hash indexes and never leave it.
 
-    __slots__ = ("_ids", "_values")
+    The pool is bounded: when it outgrows ``compact_threshold`` the owner
+    calls :meth:`maybe_compact` with the ids still referenced by its
+    indexes; dead entries are dropped, survivors are re-numbered densely
+    and the owner rewrites its index keys through the returned remap."""
 
-    def __init__(self):
+    __slots__ = ("_ids", "_values", "_floor", "_threshold", "compactions")
+
+    def __init__(self, compact_threshold: int = POOL_COMPACT_THRESHOLD):
         self._ids: dict = {}
         self._values: list = []
+        self._floor = compact_threshold
+        self._threshold = compact_threshold
+        #: Compactions performed so far (observability / tests).
+        self.compactions = 0
 
     def intern(self, value) -> int:
         """The id of ``value``, allocating one on first sight."""
@@ -82,6 +98,38 @@ class ValuePool:
     def value(self, ident: int):
         """The value interned under ``ident``."""
         return self._values[ident]
+
+    def maybe_compact(self, live: Iterable[int]) -> dict[int, int] | None:
+        """Compact the pool if it outgrew its threshold.
+
+        ``live`` is the set of ids the owner still references (its index
+        keys).  Returns ``None`` when no compaction ran; otherwise every
+        dead entry is evicted, the survivors get fresh dense ids, and the
+        old-id → new-id remap is returned so the owner can rewrite its
+        keys.  When most entries are still live, eviction would reclaim
+        almost nothing — the threshold doubles instead, keeping the
+        amortized cost of the scan O(1) per interned value.
+        """
+        if len(self._values) < self._threshold:
+            return None
+        keep = sorted(set(live))
+        if 2 * len(keep) > len(self._values):
+            self._threshold = 2 * len(self._values)
+            return None
+        values = self._values
+        remap: dict[int, int] = {}
+        survivors: list = []
+        ids: dict = {}
+        for old in keep:
+            value = values[old]
+            remap[old] = len(survivors)
+            ids[value] = len(survivors)
+            survivors.append(value)
+        self._values = survivors
+        self._ids = ids
+        self._threshold = max(self._floor, 2 * len(survivors))
+        self.compactions += 1
+        return remap
 
     def __len__(self) -> int:
         return len(self._values)

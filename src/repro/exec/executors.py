@@ -69,6 +69,27 @@ __all__ = [
 _EMPTY: frozenset[tuple] = frozenset()
 
 
+def journal_chunks(
+    ctx: EvaluationContext, stored: object, start: int, stop: int
+):
+    """``stored.changes_between(start, stop)``, served from the context's
+    per-instant cache when an engine installed one — N executors reading
+    the same XD-Relation slice then walk the journal once per tick.
+
+    The chunk list is immutable (``(instant, frozenset, frozenset)``
+    snapshots), so sharing it across executors is safe; keys carry the
+    relation's identity and both bounds, so different high-water marks
+    coexist."""
+    cache = ctx.journal_cache
+    if cache is None:
+        return stored.changes_between(start, stop)  # type: ignore[attr-defined]
+    key = (id(stored), start, stop)
+    chunks = cache.get(key)
+    if chunks is None:
+        chunks = cache[key] = stored.changes_between(start, stop)  # type: ignore[attr-defined]
+    return chunks
+
+
 class ExecStats:
     """Cumulative per-executor counters, updated on every tick.
 
@@ -308,7 +329,7 @@ class ScanExec(Executor):
                 frozenset(new - self.current), frozenset(self.current - new)
             )
         else:
-            change = self._apply_journal(stored, ctx.instant)
+            change = self._apply_journal(ctx, stored)
         self._stored = stored
         if journaled:
             last = stored.last_instant  # type: ignore[attr-defined]
@@ -320,7 +341,7 @@ class ScanExec(Executor):
             return change, reported
         return change
 
-    def _apply_journal(self, stored: object, instant: int) -> Delta:
+    def _apply_journal(self, ctx: EvaluationContext, stored: object) -> Delta:
         """Net membership change from the journal since the last tick.
 
         The journal is re-read from the consumed high-water mark, so
@@ -338,7 +359,7 @@ class ScanExec(Executor):
         removed: set[tuple] = set()
         current = self.current
         start = self._consumed if self._consumed is not None else 0
-        for _, inserted, deleted in stored.changes_between(start, instant):  # type: ignore[attr-defined]
+        for _, inserted, deleted in journal_chunks(ctx, stored, start, ctx.instant):
             self.stats.rows_scanned += len(inserted) + len(deleted)
             if inserted:
                 removed -= inserted
@@ -1020,7 +1041,7 @@ class WindowExec(Executor):
         start = horizon + 1
         if self._consumed is not None:
             start = max(start, self._consumed)
-        for instant, inserted, _ in stored.changes_between(start, ctx.instant):  # type: ignore[attr-defined]
+        for instant, inserted, _ in journal_chunks(ctx, stored, start, ctx.instant):
             self._feed_bucket(instant, inserted, touched)
         last = stored.last_instant  # type: ignore[attr-defined]
         self._consumed = last if last <= ctx.instant else ctx.instant + 1

@@ -101,6 +101,12 @@ class SharedPlanRegistry:
         self.backend = backend
         self._table = lowerings_for(backend)
         self._entries: dict[Operator, _Entry] = {}
+        # Per-instant journal read cache shared by every engine on this
+        # registry: (relation id, start, stop) → chunk list, cleared when
+        # the instant advances.  N queries folding the same XD-Relation
+        # slice then read the journal once per tick, not N times.
+        self._journal_cache: dict = {}
+        self._journal_cache_instant: int | None = None
         #: Observability facade (the query processor passes the PEMS-wide
         #: one); standalone registries default to "off".
         self.obs = (
@@ -129,6 +135,15 @@ class SharedPlanRegistry:
     def _sync_gauges(self) -> None:
         self._subplans_gauge.set(len(self._entries))
         self._refcount_gauge.set(self.total_refcount)
+
+    def journal_cache(self, instant: int) -> dict:
+        """The shared per-instant journal read cache (see
+        :func:`repro.exec.executors.journal_chunks`), reset whenever the
+        instant advances."""
+        if self._journal_cache_instant != instant:
+            self._journal_cache = {}
+            self._journal_cache_instant = instant
+        return self._journal_cache
 
     # -- introspection -----------------------------------------------------------
 
@@ -187,6 +202,15 @@ class SharedPlanRegistry:
         leased: dict[Operator, None] = {}
         root = self._build(canonical, leased, {})
         return SharedPlan(self, root, canonical, tuple(leased))
+
+    def acquire_subtree(self, node: Operator) -> "SharedPlan":
+        """Lease an already-canonical subtree directly — the federation's
+        scatter path: each zone registry hosts its copies of scattered
+        subtrees as ordinary shared plans, so two coordinator queries
+        scattering the same subtree share one executor per zone."""
+        leased: dict[Operator, None] = {}
+        root = self._build(node, leased, {})
+        return SharedPlan(self, root, node, tuple(leased))
 
     def _build(
         self,
@@ -361,6 +385,7 @@ class SharedEngine:
         ctx = EvaluationContext(
             self.environment, instant, self._states, continuous=True
         )
+        ctx.journal_cache = self.registry.journal_cache(instant)
         root_warm = not self.root.is_first_tick
         change = self.root.tick(ctx)
         if self._first and root_warm:

@@ -383,6 +383,16 @@ class ColumnarJoinExec(ColumnarExecutor):
             if matches:
                 for lt in matches:
                     gain(combine(lt, rt))
+
+        # High-churn keys (inserted once, deleted a tick later) leave dead
+        # pool entries behind; once they dominate, evict them and renumber
+        # the surviving index keys.  Ids are only held by the two indexes,
+        # so the remap below restores every reference there is.
+        remap = self.pool.maybe_compact(lindex.keys() | rindex.keys())
+        if remap is not None:
+            self._lindex = {remap[k]: v for k, v in lindex.items()}
+            self._rindex = {remap[k]: v for k, v in rindex.items()}
+
         if not plus and not minus:
             return EMPTY_DELTA
 

@@ -1,0 +1,49 @@
+"""Cross-zone discovery: the gossip relay between bus segments.
+
+Zone Local ERMs announce on their zone's bus segment.  The relay
+subscribes to every zone segment and synchronously republishes each
+announcement on the coordinator segment, so the coordinator ERM — the
+global discovery and invocation authority — observes exactly the
+announcement stream a single shared bus would carry, in the same
+per-service order (each service is owned by one zone, and each segment
+preserves its own publish order).
+
+Relaying is strictly zone → coordinator: the coordinator segment is
+never relayed back, so no announcement loops are possible, and each
+zone's ERM shard keeps its zone-local view (that locality is the shard).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pems.discovery import Announcement, DiscoveryBus
+
+__all__ = ["GossipRelay"]
+
+
+class GossipRelay:
+    """Forwards every zone-segment announcement to the coordinator bus."""
+
+    def __init__(
+        self,
+        coordinator: DiscoveryBus,
+        segments: Iterable[DiscoveryBus],
+    ):
+        self.coordinator = coordinator
+        self.segments = tuple(segments)
+        self.relayed = 0
+        for segment in self.segments:
+            if segment is coordinator:
+                continue
+            segment.subscribe(self._relay)
+
+    def _relay(self, announcement: Announcement) -> None:
+        self.relayed += 1
+        self.coordinator.publish(announcement)
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipRelay({len(self.segments)} segments, "
+            f"{self.relayed} relayed)"
+        )

@@ -1,0 +1,74 @@
+"""Deterministic consistent hashing for zone routing.
+
+Services are routed to shards by consistent hashing on the service
+reference; relation rows by hashing their partition-attribute value (or
+the whole tuple when no partition attribute exists).  The ring must be
+deterministic across processes and runs — the parallel shard executor
+forks workers that re-derive routing independently — so it is built on
+SHA-1 of a stable textual token, never on Python's salted ``hash()``.
+
+Virtual nodes smooth the key distribution: each zone owns
+:data:`VIRTUAL_NODES` points on the ring, so removing or adding a zone
+moves only the keys of the affected arc (the classic consistent-hashing
+property), and small zone counts still split keys roughly evenly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.errors import SerenaError
+
+__all__ = ["HashRing", "VIRTUAL_NODES", "stable_token"]
+
+#: Ring points per zone.
+VIRTUAL_NODES = 32
+
+
+def stable_token(value: object) -> str:
+    """A deterministic text for a routing key.
+
+    Strings route as themselves; anything else routes by ``repr``, which
+    is stable across processes for the primitive types relation tuples
+    may hold (numbers, booleans, None, nested tuples of those).
+    """
+    return value if isinstance(value, str) else repr(value)
+
+
+class HashRing:
+    """A consistent-hash ring over a fixed set of zone names."""
+
+    __slots__ = ("zones", "_points", "_keys")
+
+    def __init__(self, zones: Iterable[str], virtual_nodes: int = VIRTUAL_NODES):
+        self.zones = tuple(zones)
+        if not self.zones:
+            raise SerenaError("a hash ring needs at least one zone")
+        if len(set(self.zones)) != len(self.zones):
+            raise SerenaError(f"duplicate zone names: {self.zones!r}")
+        points = sorted(
+            (self._point(f"{zone}#{replica}"), zone)
+            for zone in self.zones
+            for replica in range(virtual_nodes)
+        )
+        self._points = tuple(points)
+        self._keys = tuple(h for h, _ in points)
+
+    @staticmethod
+    def _point(token: str) -> int:
+        digest = hashlib.sha1(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def zone_for(self, key: object) -> str:
+        """The zone owning ``key`` (first ring point at or after its hash)."""
+        h = self._point(stable_token(key))
+        index = bisect.bisect_left(self._keys, h) % len(self._points)
+        return self._points[index][1]
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __repr__(self) -> str:
+        return f"HashRing({len(self.zones)} zones, {len(self._points)} points)"

@@ -1,0 +1,96 @@
+"""The federated Local ERM: one registration facade, many zone shards.
+
+Scenario code registers services against a single Local ERM name
+(`pems.create_local_erm("building-A")`).  Under federation that name is a
+*facade*: each registered service is routed to its owning zone by
+consistent hashing on the service reference, and the facade lazily
+maintains one real :class:`~repro.pems.local_erm.LocalEnvironmentResourceManager`
+per zone it touches (named ``building-A@<zone>``), announcing on that
+zone's bus segment.  Lease renewal, crash simulation and graceful byes
+all keep their single-PEMS semantics per service — only the bus segment
+a given service announces on changes, and the gossip relay folds the
+segments back into the coordinator's announcement stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import UnknownServiceError
+from repro.model.services import Service
+from repro.pems.local_erm import LocalEnvironmentResourceManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fed.pems import FederatedPEMS
+
+__all__ = ["FederatedLocalERM"]
+
+
+class FederatedLocalERM:
+    """Routes registrations of one logical Local ERM across zone shards."""
+
+    def __init__(
+        self, name: str, fed: "FederatedPEMS", lease: int | None = None
+    ):
+        self.name = name
+        self._fed = fed
+        self._lease = lease
+        #: Zone name → the real per-zone Local ERM (lazily created).
+        self._erms: dict[str, LocalEnvironmentResourceManager] = {}
+        #: Service reference → owning zone (for deregistration routing).
+        self._owners: dict[str, str] = {}
+
+    def _erm_for(self, zone_name: str) -> LocalEnvironmentResourceManager:
+        erm = self._erms.get(zone_name)
+        if erm is None:
+            zone = self._fed.zones[zone_name]
+            kwargs = {} if self._lease is None else {"lease": self._lease}
+            erm = LocalEnvironmentResourceManager(
+                f"{self.name}@{zone_name}", zone.bus, self._fed.clock, **kwargs
+            )
+            self._erms[zone_name] = erm
+        return erm
+
+    # -- the Local ERM API --------------------------------------------------------
+
+    def register(self, service: Service) -> None:
+        """Register ``service`` with the shard owning its reference."""
+        zone_name = self._fed.ring.zone_for(service.reference)
+        self._owners[service.reference] = zone_name
+        self._erm_for(zone_name).register(service)
+
+    def deregister(self, reference: str) -> None:
+        """Deregister from the owning shard (graceful bye on its segment)."""
+        zone_name = self._owners.pop(reference, None)
+        if zone_name is None:
+            raise UnknownServiceError(reference)
+        self._erms[zone_name].deregister(reference)
+
+    def zone_of(self, reference: str) -> str | None:
+        """The zone a registered service was routed to."""
+        return self._owners.get(reference)
+
+    @property
+    def services(self) -> tuple[Service, ...]:
+        merged: dict[str, Service] = {}
+        for erm in self._erms.values():
+            for service in erm.services:
+                merged[service.reference] = service
+        return tuple(merged[ref] for ref in sorted(merged))
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash every zone shard of this logical ERM at once."""
+        for erm in self._erms.values():
+            erm.crash()
+
+    def recover(self) -> None:
+        for erm in self._erms.values():
+            erm.recover()
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedLocalERM({self.name!r}, {len(self._owners)} services "
+            f"over {len(self._erms)} zones)"
+        )

@@ -1,0 +1,120 @@
+"""The federated table manager: partitioned XD-Relations over zones.
+
+Creating a relation under federation creates one
+:class:`~repro.continuous.xdrelation.XDRelation` partition per zone —
+registered in the zone's environment under the federated name, so
+scattered subplans scan their partition directly — plus one
+:class:`~repro.fed.relation.FederatedRelation` over the partitions,
+registered in the coordinator environment, so every coordinator-side
+consumer (non-scattered scans, windows, DDL, stream feeders, the tick
+scheduler) sees a single logical relation.
+
+Rows are partitioned on the relation's **partition attribute**: an
+explicit choice via ``partition_by``, else the first SERVICE-typed real
+attribute (the paper's discovery tables — ``sensors``, ``cameras`` — are
+then sharded by the same consistent hash that routes the services
+themselves, so a service's discovery row lives in the zone that owns the
+service), else whole-tuple hashing (correct, but unprunable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.continuous.time import VirtualClock
+from repro.continuous.xdrelation import XDRelation
+from repro.errors import EnvironmentError_
+from repro.fed.hashing import HashRing
+from repro.fed.relation import FederatedRelation
+from repro.model.environment import PervasiveEnvironment
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+from repro.pems.table_manager import ExtendedTableManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fed.zone import Zone
+
+__all__ = ["FederatedTableManager"]
+
+
+class FederatedTableManager(ExtendedTableManager):
+    """An :class:`ExtendedTableManager` whose relations are partitioned."""
+
+    def __init__(
+        self,
+        environment: PervasiveEnvironment,
+        clock: VirtualClock,
+        zones: Mapping[str, "Zone"],
+        ring: HashRing,
+        partition_by: Mapping[str, str] | None = None,
+    ):
+        super().__init__(environment, clock)
+        self.zones = dict(zones)
+        self.ring = ring
+        #: Relation name → partition attribute, overriding the default
+        #: first-SERVICE-attribute choice.
+        self.partition_by = dict(partition_by or {})
+        #: Every federated relation this manager created, by name.
+        self.federated: dict[str, FederatedRelation] = {}
+
+    def _partition_position(self, schema: ExtendedRelationSchema) -> int | None:
+        explicit = self.partition_by.get(schema.name)
+        if explicit is not None:
+            return schema.real_position(explicit)
+        for position, attribute in enumerate(schema.real_attributes):
+            if attribute.dtype is DataType.SERVICE:
+                return position
+        return None
+
+    # -- relation lifecycle ------------------------------------------------------
+
+    def create_relation(
+        self,
+        schema: ExtendedRelationSchema,
+        infinite: bool = False,
+        name: str | None = None,
+    ) -> FederatedRelation:
+        """Create one partition per zone plus the federated view."""
+        key = name or schema.name
+        if not key:
+            raise EnvironmentError_("relation needs a name")
+        if key in self.environment:
+            raise EnvironmentError_(f"relation {key!r} already exists")
+        named = schema.with_name(key)
+        partitions = {
+            zone_name: XDRelation(named, infinite=infinite)
+            for zone_name in self.zones
+        }
+        for zone_name, partition in partitions.items():
+            self.zones[zone_name].environment.add_relation(partition, key)
+        relation = FederatedRelation(
+            named,
+            partitions,
+            self.ring,
+            self._partition_position(named),
+            infinite=infinite,
+        )
+        self.environment.add_relation(relation, key)
+        self.federated[key] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        super().drop_relation(name)
+        if name in self.federated:
+            del self.federated[name]
+            for zone in self.zones.values():
+                zone.environment.remove_relation(name)
+
+    def relation(self, name: str) -> XDRelation | FederatedRelation:
+        stored = self.environment.relation(name)
+        if not isinstance(stored, (XDRelation, FederatedRelation)):
+            raise EnvironmentError_(
+                f"relation {name!r} is not managed by the table manager"
+            )
+        return stored
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedTableManager({len(self.federated)} federated relations "
+            f"over {len(self.zones)} zones)"
+        )

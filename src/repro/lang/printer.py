@@ -30,6 +30,7 @@ __all__ = [
     "to_math",
     "explain",
     "explain_analyze",
+    "explain_federated",
     "explain_physical",
     "to_dot",
 ]
@@ -80,6 +81,16 @@ def explain_physical(
     from repro.obs.analyze import render_physical
 
     return render_physical(plan, registry, backend=backend)
+
+
+def explain_federated(plan: Operator | Query, registry) -> str:
+    """The federated execution plan: scattered subtrees with their routed
+    zones (and pruning), coordinator-side nodes marked as such.
+    ``registry`` is a
+    :class:`~repro.fed.registry.FederatedPlanRegistry`."""
+    from repro.obs.analyze import render_federated
+
+    return render_federated(plan, registry)
 
 
 def to_dot(plan: Operator | Query, name: str = "plan") -> str:

@@ -139,9 +139,9 @@ class QueryProcessor:
         )
         #: Shared-subplan registry for engine="shared" queries: one per
         #: processor, so co-registered queries share physical subtrees.
-        self.shared = SharedPlanRegistry(
-            environment, observe=self.obs, backend=self.backend
-        )
+        #: Subclasses override :meth:`_make_registry` to substitute a
+        #: registry with different lowering behaviour (federation).
+        self.shared = self._make_registry(environment)
         #: Quiescence-aware scheduler for engine="shared" queries.
         self.scheduler = TickScheduler(environment, observe=self.obs)
         erm.on_discovery(self.scheduler.on_discovery_event)
@@ -153,6 +153,18 @@ class QueryProcessor:
         self._rows_by_service: dict[tuple[str, str], tuple] = {}
         self._failures: deque[QueryFailure] = deque(maxlen=FAILURE_LOG_SIZE)
         clock.on_tick(self._on_tick)
+
+    def _make_registry(
+        self, environment: PervasiveEnvironment
+    ) -> SharedPlanRegistry:
+        """The shared-plan registry this processor runs on."""
+        return SharedPlanRegistry(
+            environment, observe=self.obs, backend=self.backend
+        )
+
+    def _before_plan(self, instant: int) -> None:
+        """Hook between discovery sync and query scheduling — the
+        federated processor advances (or barriers) its shards here."""
 
     @property
     def failures(self) -> list[QueryFailure]:
@@ -346,6 +358,7 @@ class QueryProcessor:
         tracer = self.obs.tracer
         for discovery in self._discovery:
             self._sync_discovery(discovery)
+        self._before_plan(instant)
         registry = self.environment.registry
         registry.begin_instant_memo(instant)
         try:

@@ -55,6 +55,37 @@ class TestValuePool:
         pool = ValuePool()
         assert pool.intern(1) == pool.intern(1.0)
 
+    def test_maybe_compact_below_threshold_is_a_no_op(self):
+        pool = ValuePool(compact_threshold=4)
+        pool.intern_column(["a", "b"])
+        assert pool.maybe_compact([0]) is None
+        assert len(pool) == 2
+        assert pool.compactions == 0
+
+    def test_maybe_compact_evicts_dead_ids_and_remaps(self):
+        pool = ValuePool(compact_threshold=4)
+        pool.intern_column(["a", "b", "c", "d", "e"])
+        remap = pool.maybe_compact([1, 3])
+        assert remap == {1: 0, 3: 1}
+        assert len(pool) == 2
+        assert pool.value(0) == "b" and pool.value(1) == "d"
+        assert "b" in pool and "a" not in pool
+        assert pool.compactions == 1
+        # An evicted value re-interns under a fresh id after the survivors.
+        assert pool.intern("a") == 2
+
+    def test_maybe_compact_backs_off_when_mostly_live(self):
+        pool = ValuePool(compact_threshold=4)
+        pool.intern_column(["a", "b", "c", "d"])
+        # 3 of 4 entries live: eviction reclaims ~nothing, threshold doubles.
+        assert pool.maybe_compact([0, 1, 2]) is None
+        assert pool.compactions == 0
+        assert pool.maybe_compact([]) is None  # below the doubled threshold
+        pool.intern_column([f"v{i}" for i in range(5)])  # 9 ≥ 8: due again
+        assert pool.maybe_compact([]) == {}
+        assert len(pool) == 0
+        assert pool.compactions == 1
+
 
 # ---------------------------------------------------------------------------
 # ColumnarDelta: dual representation and the delta contract

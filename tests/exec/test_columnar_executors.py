@@ -18,10 +18,18 @@ from repro.continuous.xdrelation import XDRelation
 from repro.devices.paper_example import build_paper_example
 from repro.devices.scenario import build_temperature_surveillance
 from repro.errors import SerenaError
-from repro.exec.columnar import ColumnarDelta
+from repro.exec.columnar import ColumnarDelta, ValuePool
 from repro.exec.lowering import lower
 from repro.exec.shared import SharedPlanRegistry
-from repro.exec.vectorized import ColumnarExecutor, ColumnarScanExec
+from repro.exec.vectorized import (
+    ColumnarExecutor,
+    ColumnarJoinExec,
+    ColumnarScanExec,
+)
+from repro.model.attributes import Attribute
+from repro.model.environment import PervasiveEnvironment
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
 from repro.obs.analyze import analyze_rows, render_analyze
 
 
@@ -176,6 +184,74 @@ class TestAnalyzeBackendColumn:
         rows = analyze_rows(cq)
         assert {r["backend"] for r in rows} == {"row"}
         assert all("batches" not in r for r in rows)
+
+
+# ---------------------------------------------------------------------------
+# Join value-pool bound under key churn
+# ---------------------------------------------------------------------------
+
+
+class TestJoinPoolBound:
+    def churn_rig(self):
+        env = PervasiveEnvironment()
+        lhs = XDRelation(
+            ExtendedRelationSchema(
+                "lhs",
+                [Attribute("k", DataType.STRING), Attribute("a", DataType.STRING)],
+            )
+        )
+        rhs = XDRelation(
+            ExtendedRelationSchema(
+                "rhs",
+                [Attribute("k", DataType.STRING), Attribute("b", DataType.STRING)],
+            )
+        )
+        env.add_relation(lhs)
+        env.add_relation(rhs)
+        return env, lhs, rhs
+
+    @staticmethod
+    def flip(relation, attr, instant, width=8):
+        """Fresh join keys every instant; last instant's rows deleted —
+        the worst case for the intern pool (every key is seen once)."""
+        if instant > 1:
+            relation.delete(
+                [
+                    (f"k{instant - 1}-{i}", f"{attr}{instant - 1}-{i}")
+                    for i in range(width)
+                ],
+                instant=instant,
+            )
+        relation.insert(
+            [(f"k{instant}-{i}", f"{attr}{instant}-{i}") for i in range(width)],
+            instant=instant,
+        )
+
+    def test_high_churn_join_keys_stay_bounded(self):
+        env, lhs, rhs = self.churn_rig()
+
+        def join_query(name):
+            return scan(env, "lhs").join(scan(env, "rhs")).query(name)
+
+        row = ContinuousQuery(join_query("row"), env, engine="incremental")
+        columnar = ContinuousQuery(join_query("col"), env, engine="columnar")
+        join = next(
+            e for e in columnar.executors() if isinstance(e, ColumnarJoinExec)
+        )
+        join.pool = ValuePool(compact_threshold=32)
+
+        ticks = 40
+        for instant in range(1, ticks + 1):
+            self.flip(lhs, "a", instant)
+            self.flip(rhs, "b", instant)
+            got = columnar.evaluate_at(instant)
+            want = row.evaluate_at(instant)
+            assert got.relation.tuples == want.relation.tuples, instant
+            assert columnar.last_reported_delta == row.last_reported_delta
+
+        # 40 ticks × 8 fresh keys interned, yet the pool stayed bounded.
+        assert join.pool.compactions >= 2
+        assert len(join.pool) < 64
 
 
 # ---------------------------------------------------------------------------

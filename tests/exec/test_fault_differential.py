@@ -1,5 +1,5 @@
-"""Differential coverage under fault scripts: the shared, incremental and
-naive engines must agree tick-for-tick while scripted chaos (crash
+"""Differential coverage under fault scripts: the naive, incremental,
+shared and columnar engines must agree tick-for-tick while scripted chaos (crash
 windows, intermittent errors, malformed outputs, latency spikes) plays
 against the §5.2 surveillance scenario — including its native
 ``messenger_failure_rate`` flakiness.
@@ -83,11 +83,12 @@ def assert_scenarios_agree(reference, others):
 
 
 def test_fault_scenario_differential():
-    """Permissive policy: chaos flows through skip-paths; all three
+    """Permissive policy: chaos flows through skip-paths; all four
     engines agree on every relation, action, alert and failure count."""
     runs = {engine: drive_fault_scenario(engine) for engine in ENGINES}
     assert_scenarios_agree(
-        runs["naive"], [runs["incremental"], runs["shared"]]
+        runs["naive"],
+        [runs["incremental"], runs["shared"], runs["columnar"]],
     )
     # The chaos had observable consequences (not a vacuous agreement):
     # faults were injected, yet alerts still flowed from healthy sensors.
@@ -109,7 +110,8 @@ def test_fault_scenario_differential_with_quarantine_policy():
         for engine in ENGINES
     }
     assert_scenarios_agree(
-        runs["naive"], [runs["incremental"], runs["shared"]]
+        runs["naive"],
+        [runs["incremental"], runs["shared"], runs["columnar"]],
     )
     _, snaps = runs["naive"]
     # Quarantines actually happened and were later released.

@@ -290,7 +290,10 @@ class TestObservabilityCommands:
     def test_explain_usage(self, shell):
         sh, out = shell
         sh.execute(".explain")
-        assert "usage: .explain [physical [row|columnar]]" in out.getvalue()
+        assert (
+            "usage: .explain [physical [row|columnar] | federated]"
+            in out.getvalue()
+        )
 
     def test_metrics_prometheus_text(self, traced):
         sh, out = traced
