@@ -1,0 +1,258 @@
+"""Subscription-server fan-out benchmark: thousands of mixed-speed clients.
+
+One ``SubscriptionServer`` over the shared-engine PEMS, a bank of
+distinct value-filtered queries, and ≥1000 in-process subscribers split
+into speed classes — *fast* consumers drain their delivery queue every
+instant, *medium* every 4th, *slow* every 16th (past the queue depth,
+so every slow client exercises coalesce-on-overflow).  Subscribers are
+in-process (``FakeSession`` + direct queue drains) rather than sockets:
+that keeps the drain schedule deterministic and measures the server's
+own costs — tick + fan-out on the clock thread, queue merge on
+overflow — instead of loopback TCP.
+
+Measured, into ``BENCH_server.json`` / ``benchmarks/reports/server.txt``:
+
+* per-tick evaluation + fan-out cost with the full subscriber load,
+* per-client delivery latency p50/p99 (publish → drain wall time),
+  aggregated per speed class,
+* coalesce/drop counts per class (slow > 0, fast == 0 by construction).
+
+Every replica is replayed against the churn formula at the end — a
+wrong state anywhere fails the bench.  ``BENCH_SMOKE=1`` runs the
+reduced CI configuration.
+"""
+
+import asyncio
+import json
+import os
+import platform
+from time import perf_counter
+
+from repro.bench.reporting import Report
+from repro.server import SubscriptionServer
+
+from tests.server.scenario import Churn, make_pems
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+SUBSCRIBERS = 160 if SMOKE else 1200
+TICKS = 12 if SMOKE else 48
+DEVICES = 64
+QUEUE_DEPTH = 8
+
+#: Speed classes: (name, drain cadence in instants, weight out of 10).
+#: The slow cadence exceeds QUEUE_DEPTH, so slow queues must overflow
+#: and coalesce between drains; fast and medium never can.
+SPEED_CLASSES = (("fast", 1, 5), ("medium", 4, 3), ("slow", 16, 2))
+
+#: Distinct continuous queries the subscribers share (4 registrations
+#: total on the engine regardless of subscriber count).
+THRESHOLDS = (25.0, 50.0, 75.0, None)
+
+
+def query_sql(threshold):
+    if threshold is None:
+        return "SELECT device, value FROM readings"
+    return f"SELECT device, value FROM readings WHERE value > {threshold}"
+
+
+def expected(churn, threshold):
+    return frozenset(
+        (f"d{i}", v)
+        for i, v in churn.state.items()
+        if threshold is None or v > threshold
+    )
+
+
+class FakeSession:
+    """The session shape ``SubscriptionServer.subscribe`` needs."""
+
+    def __init__(self, client_id):
+        self.client_id = client_id
+        self.subscriptions = {}
+
+
+class Client:
+    """One simulated subscriber: a cadence, a replica, its latencies."""
+
+    __slots__ = ("speed", "cadence", "threshold", "sub", "state", "latencies")
+
+    def __init__(self, speed, cadence, threshold, sub):
+        self.speed = speed
+        self.cadence = cadence
+        self.threshold = threshold
+        self.sub = sub
+        self.state = set()
+        self.latencies = []
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_clients(server):
+    """Round-robin subscribers across speed classes (by weight) and the
+    query bank; every (class, query) pair gets many clients."""
+    weighted = [
+        (name, cadence)
+        for name, cadence, weight in SPEED_CLASSES
+        for _ in range(weight)
+    ]
+    clients = []
+    for i in range(SUBSCRIBERS):
+        speed, cadence = weighted[i % len(weighted)]
+        threshold = THRESHOLDS[i % len(THRESHOLDS)]
+        sub = server.subscribe(
+            FakeSession(f"bench{i}"), query_sql(threshold), f"b{i}"
+        )
+        clients.append(Client(speed, cadence, threshold, sub))
+    return clients
+
+
+async def drain(client):
+    """Consume everything pending, checking the two-delta contract and
+    recording publish→drain wall latency per entry."""
+    queue = client.sub.queue
+    while queue.lag:
+        entry = await queue.get()
+        client.latencies.append(perf_counter() - entry.published_at)
+        state = client.state
+        assert not entry.delta.inserted & state
+        assert entry.delta.deleted <= state
+        state -= entry.delta.deleted
+        state |= entry.delta.inserted
+
+
+def run():
+    server = SubscriptionServer(make_pems(), queue_depth=QUEUE_DEPTH)
+    churn = Churn(server.pems, devices=DEVICES)
+    clients = build_clients(server)
+    assert len(server.queries) == len(THRESHOLDS)
+    tick_seconds = 0.0
+
+    async def scenario():
+        nonlocal tick_seconds
+        for _ in range(TICKS):
+            churn.step()
+            began = perf_counter()
+            instant = server.tick()
+            tick_seconds += perf_counter() - began
+            for client in clients:
+                if instant % client.cadence == 0:
+                    await drain(client)
+        for client in clients:  # final catch-up drain
+            await drain(client)
+        await server.shutdown()
+
+    asyncio.run(scenario())
+    for client in clients:  # every replica replays to the true state
+        assert client.state == expected(churn, client.threshold), (
+            client.speed,
+            client.threshold,
+        )
+    return server, clients, tick_seconds
+
+
+def summarize(clients):
+    """Per-speed-class aggregates of the per-client p50/p99 latencies."""
+    classes = {}
+    for name, cadence, _ in SPEED_CLASSES:
+        members = [c for c in clients if c.speed == name]
+        p50s = [percentile(c.latencies, 0.50) for c in members]
+        p99s = [percentile(c.latencies, 0.99) for c in members]
+        classes[name] = {
+            "clients": len(members),
+            "cadence": cadence,
+            "delivered": sum(len(c.latencies) for c in members),
+            "coalesced": sum(c.sub.queue.coalesced for c in members),
+            "dropped": sum(c.sub.queue.dropped for c in members),
+            "p50_ms_median": round(percentile(p50s, 0.50) * 1000, 3),
+            "p99_ms_median": round(percentile(p99s, 0.50) * 1000, 3),
+            "p99_ms_max": round(max(p99s) * 1000, 3),
+        }
+    return classes
+
+
+def test_bench_server(benchmark):
+    server, clients, tick_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    classes = summarize(clients)
+    # Non-vacuous speed mix: slow consumers really overflowed and
+    # coalesced; fast consumers never needed to.
+    assert classes["slow"]["coalesced"] > 0
+    assert classes["fast"]["coalesced"] == 0
+    assert classes["fast"]["delivered"] > classes["slow"]["delivered"]
+    delivered = sum(cls["delivered"] for cls in classes.values())
+    every = [lat for c in clients for lat in c.latencies]
+
+    payload = {
+        "subscribers": SUBSCRIBERS,
+        "queries": len(THRESHOLDS),
+        "devices": DEVICES,
+        "ticks": TICKS,
+        "queue_depth": QUEUE_DEPTH,
+        "tick_seconds": round(tick_seconds, 6),
+        "tick_ms_mean": round(tick_seconds / TICKS * 1000, 3),
+        "messages_delivered": delivered,
+        "delivery_p50_ms": round(percentile(every, 0.50) * 1000, 3),
+        "delivery_p99_ms": round(percentile(every, 0.99) * 1000, 3),
+        "speed_classes": classes,
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "mode": "smoke" if SMOKE else "full",
+    }
+    if not SMOKE:  # the committed artifact records the full configuration
+        root = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+        with open(os.path.join(root, "BENCH_server.json"), "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+    report = Report("server")
+    report.table(
+        [
+            "class",
+            "clients",
+            "cadence",
+            "delivered",
+            "coalesced",
+            "dropped",
+            "p50 (ms)",
+            "p99 (ms)",
+            "worst p99",
+        ],
+        [
+            [
+                name,
+                cls["clients"],
+                cls["cadence"],
+                cls["delivered"],
+                cls["coalesced"],
+                cls["dropped"],
+                f"{cls['p50_ms_median']:.3f}",
+                f"{cls['p99_ms_median']:.3f}",
+                f"{cls['p99_ms_max']:.3f}",
+            ]
+            for name, cls in classes.items()
+        ],
+        title=(
+            f"Delivery by speed class: {SUBSCRIBERS} subscribers over "
+            f"{len(THRESHOLDS)} shared queries, {TICKS} ticks, "
+            f"queue depth {QUEUE_DEPTH}"
+        ),
+    )
+    report.add(
+        f"Tick + fan-out on the clock thread: {tick_seconds:.4f}s total, "
+        f"{tick_seconds / TICKS * 1000:.2f} ms/tick with "
+        f"{SUBSCRIBERS} subscriber queues"
+    )
+    report.add(
+        f"Delivered {delivered} delta entries; overall delivery "
+        f"p50 {percentile(every, 0.5) * 1000:.3f} ms / "
+        f"p99 {percentile(every, 0.99) * 1000:.3f} ms "
+        f"(slow-class latency is the drain cadence by design)"
+    )
+    report.emit()

@@ -19,6 +19,58 @@ from pathlib import Path
 REQUIRED_KEYS = ("mode", "ticks")
 MODES = ("smoke", "full")
 
+#: Per-client latency aggregates every server speed class must carry.
+SERVER_CLASS_KEYS = (
+    "clients",
+    "cadence",
+    "delivered",
+    "coalesced",
+    "dropped",
+    "p50_ms_median",
+    "p99_ms_median",
+)
+
+
+def check_server(payload: dict, name: str) -> list[str]:
+    """``BENCH_server.json`` additionally pins the acceptance shape: a
+    ≥1000-subscriber full run with per-class delivery p50/p99 and
+    coalesce counts (and a slow class that actually coalesced)."""
+    problems: list[str] = []
+    subscribers = payload.get("subscribers")
+    if not isinstance(subscribers, int):
+        problems.append(f"{name}: subscribers is not an integer")
+    elif payload.get("mode") == "full" and subscribers < 1000:
+        problems.append(
+            f"{name}: full-mode run has only {subscribers} subscribers "
+            "(the committed artifact must record >= 1000)"
+        )
+    for key in ("delivery_p50_ms", "delivery_p99_ms"):
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{name}: missing numeric {key!r}")
+    classes = payload.get("speed_classes")
+    if not isinstance(classes, dict) or not classes:
+        return problems + [f"{name}: missing 'speed_classes' object"]
+    for cls_name, cls in classes.items():
+        if not isinstance(cls, dict):
+            problems.append(f"{name}: speed class {cls_name!r} is not an object")
+            continue
+        for key in SERVER_CLASS_KEYS:
+            if not isinstance(cls.get(key), (int, float)):
+                problems.append(
+                    f"{name}: speed class {cls_name!r} missing numeric {key!r}"
+                )
+    slow = classes.get("slow")
+    if isinstance(slow, dict) and not slow.get("coalesced"):
+        problems.append(
+            f"{name}: slow class never coalesced — the overflow path "
+            "was not exercised"
+        )
+    return problems
+
+
+#: Artifact-specific validators beyond the common metadata keys.
+EXTRA_CHECKS = {"BENCH_server.json": check_server}
+
 
 def check_file(path: Path) -> list[str]:
     problems: list[str] = []
@@ -36,6 +88,9 @@ def check_file(path: Path) -> list[str]:
         problems.append(f"{path.name}: mode {mode!r} not in {MODES}")
     if "ticks" in payload and not isinstance(payload["ticks"], int):
         problems.append(f"{path.name}: ticks is not an integer")
+    extra = EXTRA_CHECKS.get(path.name)
+    if extra is not None and not problems:
+        problems.extend(extra(payload, path.name))
     return problems
 
 

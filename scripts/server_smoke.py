@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI guard: the subscription server serves a real client end to end.
+
+Starts a :class:`SubscriptionServer` on an ephemeral loopback port with
+the wall-clock ticker running, connects an actual TCP client, performs
+the ping handshake, registers a continuous query by SQL text, churns
+the base relation, waits for at least one delta message, deregisters,
+quits, and shuts the server down cleanly.  Any protocol deviation or a
+missed delta exits non-zero — the cheapest possible \"does ``.serve``
+actually serve\" check for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+
+from repro.model.attributes import Attribute
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+from repro.pems.pems import PEMS
+from repro.server import SubscriptionServer
+
+HOT_SQL = "SELECT device, value FROM readings WHERE value > 50.0"
+TICK_INTERVAL = 0.02
+TIMEOUT = 10.0
+
+
+def make_pems() -> PEMS:
+    pems = PEMS()
+    pems.tables.create_relation(
+        ExtendedRelationSchema(
+            "readings",
+            [
+                Attribute("device", DataType.STRING),
+                Attribute("value", DataType.REAL),
+            ],
+        )
+    )
+    return pems
+
+
+async def expect(reader: asyncio.StreamReader, kind: str) -> dict:
+    line = await asyncio.wait_for(reader.readline(), TIMEOUT)
+    if not line:
+        raise AssertionError(f"connection closed while waiting for {kind!r}")
+    message = json.loads(line)
+    if message.get("type") != kind:
+        raise AssertionError(f"expected {kind!r}, got {message!r}")
+    return message
+
+
+async def send(writer: asyncio.StreamWriter, **message) -> None:
+    writer.write((json.dumps(message) + "\n").encode())
+    await writer.drain()
+
+
+async def main() -> int:
+    server = SubscriptionServer(make_pems(), tick_interval=TICK_INTERVAL)
+    await server.start()
+    print(f"server up on 127.0.0.1:{server.port}")
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        await send(writer, op="ping")  # the client speaks first
+        hello = await expect(reader, "hello")
+        await expect(reader, "pong")
+        print(f"handshake ok (client {hello['client']})")
+
+        await send(writer, op="register", sql=HOT_SQL, name="hot")
+        await expect(reader, "registered")
+        # Guarantee an upcoming tick reports a non-empty delta.
+        server.pems.tables.insert_tuples(
+            "readings",
+            [("cam1", 61.5), ("cam2", 83.0), ("cam3", 12.0)],
+            instant=server.pems.clock.now + 1,
+        )
+        delta = await asyncio.wait_for(reader.readline(), TIMEOUT)
+        message = json.loads(delta)
+        assert message["type"] == "delta" and message["name"] == "hot", message
+        assert message["inserted"] or message["deleted"], message
+        print(
+            f"delta received at instant {message['last']}: "
+            f"+{len(message['inserted'])}/-{len(message['deleted'])} rows"
+        )
+
+        await send(writer, op="deregister", name="hot")
+        await expect(reader, "deregistered")
+        await send(writer, op="quit")
+        await expect(reader, "bye")
+        writer.close()
+    finally:
+        await server.shutdown()
+    if server.pems.queries.continuous_queries:
+        raise AssertionError("shutdown left continuous queries registered")
+    print("clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

@@ -39,6 +39,11 @@ Run ``python -m repro`` for an interactive session, or
   ``.sal <expr>``           evaluate a Serena Algebra Language expression
   ``.rule head(x) :- ...``  evaluate a conjunctive-calculus rule
   ``.demo temperature|rss`` load a ready-made §5.2 scenario
+  ``.serve [port [n [ms]]]`` serve continuous-query deltas over TCP/SSE:
+                            tick every ``ms`` milliseconds (default 100)
+                            for ``n`` instants (default: until Ctrl-C);
+                            clients register queries by SQL over JSONL
+                            or subscribe via ``GET /subscribe?sql=…``
   ``.quit``                 leave
   ========================  ==========================================
 
@@ -89,6 +94,7 @@ class SerenaShell:
             "sal": self._cmd_sal,
             "rule": self._cmd_rule,
             "demo": self._cmd_demo,
+            "serve": self._cmd_serve,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
         }
@@ -419,6 +425,51 @@ class SerenaShell:
             f"({len(self.pems.environment.registry)} services, "
             f"{len(self.pems.environment.relation_names)} relations); "
             ".tick to advance"
+        )
+
+    def _cmd_serve(self, argument: str) -> None:
+        import asyncio
+
+        from repro.server import SubscriptionServer
+
+        parts = argument.split()
+        try:
+            port = int(parts[0]) if parts else 0
+            ticks = int(parts[1]) if len(parts) > 1 else 0
+            interval = (
+                float(parts[2]) / 1000.0 if len(parts) > 2 else 0.1
+            )
+        except ValueError:
+            self._print("usage: .serve [port [ticks [interval_ms]]]")
+            return
+
+        async def _serve() -> dict:
+            server = SubscriptionServer(self.pems, port=port)
+            await server.start()
+            self._print(
+                f"serving on 127.0.0.1:{server.port} — JSONL ops per "
+                "line, or GET /subscribe?sql=… for SSE; Ctrl-C to stop"
+            )
+            remaining = ticks if ticks > 0 else None
+            try:
+                while remaining is None or remaining > 0:
+                    server.tick()
+                    if remaining is not None:
+                        remaining -= 1
+                    await asyncio.sleep(interval)
+            finally:
+                await server.shutdown()
+            return server.summary()
+
+        try:
+            summary = asyncio.run(_serve())
+        except KeyboardInterrupt:
+            self._print("\nserver stopped")
+            return
+        self._print(
+            f"served {summary['messages_sent']} delta messages over "
+            f"{summary['instant']} instants "
+            f"({summary['queries']} queries at shutdown)"
         )
 
     def _cmd_quit(self, argument: str) -> None:

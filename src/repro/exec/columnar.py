@@ -319,6 +319,14 @@ class ColumnarDelta:
     def coalesce(self, later) -> "ColumnarDelta":
         """The single delta equivalent to applying ``self`` then ``later``
         (any backend); stays columnar."""
+        # Identity fast paths — mirror Delta.coalesce: no set algebra (and
+        # no column rebuild) when either side is empty.
+        if not later:
+            return self
+        if not self:
+            return ColumnarDelta.from_sets(
+                frozenset(later.inserted), frozenset(later.deleted), self.width
+            )
         inserted, deleted = coalesce_sets(
             self.inserted,
             self.deleted,

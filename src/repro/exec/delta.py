@@ -102,6 +102,12 @@ class Delta:
         """The single delta equivalent to applying ``self`` then ``later``
         (see :func:`coalesce_sets`); the result is again contract-clean.
         Accepts any delta backend; always returns a row :class:`Delta`."""
+        # Identity fast paths: the server's overflow coalescing folds
+        # long chains where one side is often empty (carried instants).
+        if not later:
+            return self if self else EMPTY_DELTA
+        if not self:
+            return Delta(frozenset(later.inserted), frozenset(later.deleted))
         inserted, deleted = coalesce_sets(
             self.inserted,
             self.deleted,

@@ -81,9 +81,20 @@ class GatherExec(Executor):
     def _shard_delta(
         self, shard: Shard, ctx: EvaluationContext
     ) -> tuple[frozenset[tuple], frozenset[tuple]]:
-        remote = self.registry.take_remote(shard.zone.name, shard.digest)
+        registry = self.registry
+        remote = registry.take_remote(shard.zone.name, shard.digest)
         if remote is not None:
             inserted, deleted = remote
+            if self.is_first_tick:
+                # The shard lives in a forked worker and only its deltas
+                # ship: a gather created after the worker advanced would
+                # miss the shard's standing rows.  Replay the maintained
+                # remote view — the remote-path equivalent of the warm
+                # in-process shard's fresh_view() catch-up below (the
+                # pending delta just consumed is already folded into it).
+                view = registry.remote_view(shard.zone.name, shard.digest)
+                if view is not None:
+                    inserted, deleted = view, _EMPTY
         else:
             root_was_fresh = shard.executor.is_first_tick
             change = shard.zone.tick(shard.executor, ctx.instant)
@@ -93,10 +104,14 @@ class GatherExec(Executor):
                 inserted, deleted = shard.executor.fresh_view(), _EMPTY
             else:
                 inserted, deleted = change.inserted, change.deleted
+        inserted = frozenset(inserted)
+        deleted = frozenset(deleted)
+        # Count after deduplication: a shipped remote delta may carry
+        # duplicates, and EXPLAIN ANALYZE cardinalities are tuple counts.
         stats = self.stats
         stats.input_inserted += len(inserted)
         stats.input_deleted += len(deleted)
-        return frozenset(inserted), frozenset(deleted)
+        return inserted, deleted
 
     def _advance(self, ctx: EvaluationContext) -> Delta:
         if len(self.shards) == 1:

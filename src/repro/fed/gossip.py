@@ -33,17 +33,45 @@ class GossipRelay:
         self.coordinator = coordinator
         self.segments = tuple(segments)
         self.relayed = 0
+        self._closed = False
+        # One bound callback object: DiscoveryBus.unsubscribe matches by
+        # identity, and each ``self._relay`` access binds a fresh method.
+        self._callback = self._relay
         for segment in self.segments:
             if segment is coordinator:
                 continue
-            segment.subscribe(self._relay)
+            segment.subscribe(self._callback)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unsubscribe from every zone segment (idempotent).
+
+        Without this, tearing down a federation leaves the relay callback
+        registered on every zone bus: any later announcement on a segment
+        keeps republishing onto the dead coordinator bus and pins the
+        whole federation object graph alive.  ``FederatedPEMS.close``
+        calls it on shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self.segments:
+            if segment is self.coordinator:
+                continue
+            segment.unsubscribe(self._callback)
 
     def _relay(self, announcement: Announcement) -> None:
+        if self._closed:  # a listener list snapshot may still deliver
+            return
         self.relayed += 1
         self.coordinator.publish(announcement)
 
     def __repr__(self) -> str:
+        state = ", closed" if self._closed else ""
         return (
             f"GossipRelay({len(self.segments)} segments, "
-            f"{self.relayed} relayed)"
+            f"{self.relayed} relayed{state})"
         )

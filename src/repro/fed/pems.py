@@ -158,6 +158,14 @@ class FederatedPEMS(PEMS):
         """Stop shard workers/threads (idempotent; lockstep is a no-op)."""
         self.queries.shutdown()
 
+    def close(self) -> None:
+        """Full teardown (idempotent): stop shard workers/threads *and*
+        detach the gossip relay from every zone bus segment, so no relay
+        callback outlives the federation.  The subscription server's
+        shutdown path calls this."""
+        self.shutdown()
+        self.gossip.close()
+
     def __repr__(self) -> str:
         mode = self.parallelism or "lockstep"
         return (

@@ -172,7 +172,6 @@ class FederatedQueryProcessor(QueryProcessor):
             future.result()
 
     def _advance_processes(self, instant: int) -> None:
-        registry = self.shared
         if self._workers is None:
             self._fork_workers(instant)
         if self.obs.tracing_on:
@@ -214,9 +213,7 @@ class FederatedQueryProcessor(QueryProcessor):
         # Relations created after the fork don't exist in the workers (and
         # can't be scattered either — the registry is frozen): never ship.
         self._fork_relations = frozenset(self.tables.federated)
-        registry = self.shared
-        registry.frozen = True
-        registry.remote_mode = True
+        self.shared.freeze_for_workers()
 
     def _barrier_processes(self, instant: int) -> None:
         registry = self.shared

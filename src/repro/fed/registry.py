@@ -132,6 +132,15 @@ class FederatedPlanRegistry(SharedPlanRegistry):
         #: (zone name, subtree digest) → delta accumulated over the
         #: instants since the owning gather last consumed it.
         self._pending: dict[tuple[str, str], RemoteDelta] = {}
+        #: Zone name → digests of the subtrees its forked worker computes
+        #: (frozen at fork; workers never learn about later subtrees).
+        self._worker_digests: dict[str, frozenset[str]] = {}
+        #: (zone name, subtree digest) → the shard's full current view,
+        #: maintained from the shipped deltas (seeded at fork).  This is
+        #: what lets a gather created *after* the workers advanced replay
+        #: the warm shard's standing rows — the first-tick catch-up the
+        #: in-process path gets from ``fresh_view()``.
+        self._remote_views: dict[tuple[str, str], frozenset] = {}
         metrics = self.obs.metrics
         self._scatter_total = metrics.counter(
             "serena_fed_scatter_total",
@@ -217,7 +226,12 @@ class FederatedPlanRegistry(SharedPlanRegistry):
     ) -> Executor:
         entry = self._entries.get(node)
         if entry is None:
-            if self.frozen:
+            digest = _digest(node)
+            routed = self._route_zones(node)
+            if self.frozen and not all(
+                digest in self._worker_digests.get(name, frozenset())
+                for name in routed
+            ):
                 raise SerenaError(
                     "federated registry is frozen: shard worker processes "
                     "are running and cannot learn about new scattered "
@@ -226,8 +240,6 @@ class FederatedPlanRegistry(SharedPlanRegistry):
                 )
             self._lease_misses_total.inc()
             self._scatter_total.inc()
-            digest = _digest(node)
-            routed = self._route_zones(node)
             if len(routed) < len(self.zones):
                 self._pruned_total.inc()
             shards = tuple(
@@ -271,6 +283,25 @@ class FederatedPlanRegistry(SharedPlanRegistry):
 
     # -- remote shard deltas (process workers) -----------------------------------
 
+    def freeze_for_workers(self) -> None:
+        """Switch to remote (process-worker) mode at fork time: record
+        which subtrees each worker computes — the worker's zone-registry
+        contents, nested child subtrees included — and seed the per-shard
+        remote views from the coordinator executors' state, which the fork
+        inherited verbatim.  Only subtrees recorded here may be scattered
+        after the freeze (the workers never learn about new ones)."""
+        self.frozen = True
+        self.remote_mode = True
+        for zone_name, zone in self.zones.items():
+            entries = list(zone.plans._entries.values())
+            self._worker_digests[zone_name] = frozenset(
+                entry.fingerprint for entry in entries
+            )
+            for entry in entries:
+                self._remote_views[(zone_name, entry.fingerprint)] = (
+                    frozenset(entry.executor.current)
+                )
+
     def take_remote(self, zone_name: str, digest: str) -> RemoteDelta | None:
         """The accumulated worker delta for one shard, or None when shard
         execution is in-process (gather then ticks the shard itself)."""
@@ -279,18 +310,33 @@ class FederatedPlanRegistry(SharedPlanRegistry):
         empty: RemoteDelta = (frozenset(), frozenset())
         return self._pending.pop((zone_name, digest), empty)
 
+    def remote_view(self, zone_name: str, digest: str) -> frozenset | None:
+        """The shard's full current view as maintained from the shipped
+        worker deltas — the remote-path equivalent of
+        ``shard.executor.fresh_view()`` (None outside remote mode or for
+        a subtree no worker computes)."""
+        return self._remote_views.get((zone_name, digest))
+
     def install_remote(
         self, zone_name: str, deltas: Mapping[str, RemoteDelta]
     ) -> None:
         """Fold one worker barrier's deltas into the pending store,
         composing with anything not yet consumed (queries carried across
-        instants consume one composed delta spanning the gap)."""
+        instants consume one composed delta spanning the gap).  The
+        per-shard remote views advance for *every* shipped subtree — live
+        at the coordinator or not — so a gather re-created later can
+        still replay the warm shard's standing rows."""
         live = {
             entry.fingerprint
             for entry in self._entries.values()
             if isinstance(entry, _GatherEntry)
         }
+        views = self._remote_views
         for digest, delta in deltas.items():
+            inserted, deleted = delta
+            view_key = (zone_name, digest)
+            view = views.get(view_key, frozenset())
+            views[view_key] = (view - frozenset(deleted)) | frozenset(inserted)
             if digest not in live:
                 continue
             key = (zone_name, digest)

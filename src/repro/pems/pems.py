@@ -147,6 +147,17 @@ class PEMS:
             now = self.tick()
         return now
 
+    def close(self) -> None:
+        """Release long-lived resources (idempotent).
+
+        A plain PEMS holds none — everything is in-process and owned by
+        this object — but subclasses override: a
+        :class:`~repro.fed.pems.FederatedPEMS` stops shard workers and
+        detaches its gossip relay here.  Long-running hosts (the
+        subscription server's shutdown path, benches) call ``close()``
+        unconditionally instead of special-casing the federation.
+        """
+
     def describe(self) -> str:
         """Catalog dump: prototypes, services, relations, queries."""
         lines = [self.environment.describe(), "-- Continuous queries --"]

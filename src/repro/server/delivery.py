@@ -1,0 +1,130 @@
+"""Bounded per-subscription delivery queues with coalesce-on-overflow.
+
+The tick loop publishes one :class:`QueuedDelta` per instant per
+subscription — synchronously, O(1), never blocking.  A consumer task
+awaits entries and writes them to the socket; when the consumer is
+slower than the clock, the queue fills and *overflow coalesces*: the two
+oldest pending entries merge into one via the two-delta ``coalesce``,
+spanning ``[older.first, newer.last]``.  Coalescing always evicts from
+the old end, so the freshest instants keep their full resolution and the
+slow consumer loses only intermediate states — by the coalesce laws
+(``tests/property/test_prop_coalesce.py``), applying the merged entry
+lands the client replica exactly where applying both originals would
+have, so final state is lossless at any consumer speed.
+
+A merge that nets to the empty delta (churn that cancelled out) drops
+the entry entirely; the ``dropped`` counter records it, and the next
+delivered entry's ``first`` still documents the skipped span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exec.delta import Delta
+
+__all__ = ["DeliveryQueue", "QueuedDelta"]
+
+
+@dataclass(frozen=True)
+class QueuedDelta:
+    """One pending wire delta spanning instants ``[first, last]``."""
+
+    first: int
+    last: int
+    delta: Delta
+    #: Merges folded into this entry (0 for a fresh per-instant delta).
+    coalesced: int = 0
+    #: Publish wall-time of the *oldest* instant folded in (delivery-lag
+    #: measurements want worst-case age, so merges keep the older stamp).
+    published_at: float = 0.0
+
+    def merge(self, newer: "QueuedDelta") -> "QueuedDelta":
+        return QueuedDelta(
+            self.first,
+            newer.last,
+            self.delta.coalesce(newer.delta),
+            self.coalesced + newer.coalesced + 1,
+            self.published_at,
+        )
+
+
+class DeliveryQueue:
+    """A bounded FIFO of :class:`QueuedDelta` for one subscription."""
+
+    def __init__(self, depth: int = 64):
+        if depth < 2:
+            raise ValueError("delivery queue depth must be at least 2")
+        self.depth = depth
+        self._entries: deque[QueuedDelta] = deque()
+        self._ready = asyncio.Event()
+        self._closed = False
+        self.published = 0
+        self.delivered = 0
+        self.coalesced = 0
+        self.dropped = 0
+
+    # -- producer side (the tick loop; synchronous, non-blocking) -----------------
+
+    def publish(self, entry: QueuedDelta) -> None:
+        """Append one entry, coalescing the two oldest on overflow."""
+        if self._closed:
+            return
+        entries = self._entries
+        entries.append(entry)
+        self.published += 1
+        if len(entries) > self.depth:
+            older = entries.popleft()
+            newer = entries.popleft()
+            merged = older.merge(newer)
+            self.coalesced += 1
+            if merged.delta:
+                entries.appendleft(merged)
+            else:
+                self.dropped += 1  # the span netted to no change
+        self._ready.set()
+
+    def close(self) -> None:
+        """Stop the queue: pending entries still drain, then consumers
+        get ``None`` (idempotent)."""
+        self._closed = True
+        self._ready.set()
+
+    # -- consumer side (one writer task per subscription) -------------------------
+
+    async def get(self) -> QueuedDelta | None:
+        """The next entry, or ``None`` once closed and drained."""
+        while True:
+            if self._entries:
+                entry = self._entries.popleft()
+                self.delivered += 1
+                if not self._entries and not self._closed:
+                    self._ready.clear()
+                return entry
+            if self._closed:
+                return None
+            self._ready.clear()
+            await self._ready.wait()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def lag(self) -> int:
+        """Entries currently pending (the consumer's backlog)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveryQueue({self.lag}/{self.depth} pending, "
+            f"{self.delivered} delivered, {self.coalesced} coalesced, "
+            f"{self.dropped} dropped)"
+        )

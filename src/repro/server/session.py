@@ -1,0 +1,276 @@
+"""One connected client: the reader loop and per-subscription pumps.
+
+A :class:`ClientSession` owns one TCP connection speaking the JSONL
+protocol.  Its ``run`` loop parses one operation per line; each
+subscription it registers gets its own *pump* task that awaits the
+subscription's delivery queue and writes ``delta`` messages to the
+socket.  Backpressure composes naturally: a slow socket blocks only its
+own session's ``drain()``, the pump stops consuming, the bounded queue
+fills, and overflow coalescing kicks in — the tick loop never waits.
+
+Errors are per-operation: a malformed line, a rejected registration or a
+bad query produces an ``error`` message and the session lives on; only
+EOF, ``quit`` or a transport failure end it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import SerenaError
+from repro.server.admission import AdmissionError
+from repro.server.delivery import DeliveryQueue, QueuedDelta
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+    render_rows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.service import ServerQuery, SubscriptionServer
+
+__all__ = ["ClientSession", "Subscription"]
+
+
+class Subscription:
+    """One (client, continuous query) pairing with its delivery queue."""
+
+    __slots__ = (
+        "name",
+        "query",
+        "queue",
+        "client_id",
+        "task",
+        "_lag_gauge",
+        "_coalesced_counter",
+        "_dropped_counter",
+        "_synced_coalesced",
+        "_synced_dropped",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        query: "ServerQuery",
+        queue: DeliveryQueue,
+        client_id: str,
+        metrics,
+    ):
+        self.name = name
+        self.query = query
+        self.queue = queue
+        self.client_id = client_id
+        self.task: asyncio.Task | None = None
+        self._lag_gauge = metrics.gauge(
+            "serena_server_lag",
+            "Pending delivery-queue entries per subscription",
+            client=client_id,
+            sub=name,
+        )
+        self._coalesced_counter = metrics.counter(
+            "serena_server_coalesced_total",
+            "Overflow merges per subscription",
+            client=client_id,
+            sub=name,
+        )
+        self._dropped_counter = metrics.counter(
+            "serena_server_dropped_total",
+            "Net-zero coalesced spans dropped per subscription",
+            client=client_id,
+            sub=name,
+        )
+        self._synced_coalesced = 0
+        self._synced_dropped = 0
+
+    def sync_metrics(self) -> None:
+        """Mirror the queue's counters onto the obs registry."""
+        queue = self.queue
+        self._lag_gauge.set(queue.lag)
+        if queue.coalesced > self._synced_coalesced:
+            self._coalesced_counter.inc(
+                queue.coalesced - self._synced_coalesced
+            )
+            self._synced_coalesced = queue.coalesced
+        if queue.dropped > self._synced_dropped:
+            self._dropped_counter.inc(queue.dropped - self._synced_dropped)
+            self._synced_dropped = queue.dropped
+
+
+class ClientSession:
+    """The JSONL protocol endpoint for one connection."""
+
+    def __init__(
+        self,
+        server: "SubscriptionServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client_id: str,
+    ):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.client_id = client_id
+        self.subscriptions: dict[str, Subscription] = {}
+        self._quitting = False
+        self._write_lock = asyncio.Lock()
+
+    # -- outbound ----------------------------------------------------------------
+
+    async def send(self, message: dict) -> None:
+        async with self._write_lock:
+            self.writer.write(encode(message))
+            await self.writer.drain()
+
+    async def _send_error(self, reason: str, detail: str) -> None:
+        await self.send(
+            {"type": "error", "reason": reason, "detail": detail}
+        )
+
+    # -- the reader loop ---------------------------------------------------------
+
+    async def run(self, first_line: bytes | None = None) -> None:
+        server = self.server
+        await self.send(
+            {
+                "type": "hello",
+                "server": "serena",
+                "instant": server.pems.clock.now,
+                "client": self.client_id,
+                "max_queries": server.admission.max_queries_per_client,
+            }
+        )
+        try:
+            line = first_line
+            while not self._quitting:
+                if line is None:
+                    line = await self.reader.readline()
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    await self._send_error("protocol", "line too long")
+                    break
+                try:
+                    await self._handle(decode_line(line))
+                except ProtocolError as exc:
+                    await self._send_error("protocol", str(exc))
+                except AdmissionError as exc:
+                    await self._send_error(exc.reason, str(exc))
+                except SerenaError as exc:
+                    await self._send_error("query", str(exc))
+                line = None
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self.close()
+
+    async def _handle(self, message: dict) -> None:
+        op = message["op"]
+        if op == "register":
+            await self._op_register(message)
+        elif op == "deregister":
+            await self._op_deregister(message)
+        elif op == "ping":
+            await self.send(
+                {"type": "pong", "instant": self.server.pems.clock.now}
+            )
+        elif op == "quit":
+            self._quitting = True
+            await self.send({"type": "bye"})
+        else:
+            raise ProtocolError(f"unsupported op {op!r}")
+
+    async def _op_register(self, message: dict) -> None:
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("register needs a non-empty 'sql' string")
+        name = message.get("name") or f"q{len(self.subscriptions) + 1}"
+        if not isinstance(name, str):
+            raise ProtocolError("'name' must be a string")
+        if name in self.subscriptions:
+            raise ProtocolError(f"subscription {name!r} already exists")
+        subscription = self.server.subscribe(self, sql, name)
+        self.subscriptions[name] = subscription
+        subscription.task = asyncio.ensure_future(self._pump(subscription))
+        await self.send(
+            {
+                "type": "registered",
+                "name": name,
+                "sql": subscription.query.sql,
+                "instant": self.server.pems.clock.now,
+            }
+        )
+
+    async def _op_deregister(self, message: dict) -> None:
+        name = message.get("name")
+        subscription = self.subscriptions.get(name)
+        if subscription is None:
+            raise ProtocolError(f"no subscription named {name!r}")
+        del self.subscriptions[name]
+        self.server.unsubscribe(subscription)
+        await self.send({"type": "deregistered", "name": name})
+
+    # -- the delivery pump (one task per subscription) ----------------------------
+
+    async def _pump(self, subscription: Subscription) -> None:
+        server = self.server
+        queue = subscription.queue
+        try:
+            while True:
+                entry = await queue.get()
+                if entry is None:
+                    break
+                await self.send(self._delta_message(subscription, entry))
+                if entry.published_at:
+                    server.observe_delivery(
+                        time.perf_counter() - entry.published_at
+                    )
+                server.messages_sent.inc()
+                subscription.sync_metrics()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    @staticmethod
+    def _delta_message(
+        subscription: Subscription, entry: QueuedDelta
+    ) -> dict:
+        return {
+            "type": "delta",
+            "name": subscription.name,
+            "first": entry.first,
+            "last": entry.last,
+            "inserted": render_rows(entry.delta.inserted),
+            "deleted": render_rows(entry.delta.deleted),
+            "coalesced": entry.coalesced,
+        }
+
+    # -- teardown ----------------------------------------------------------------
+
+    async def close(self) -> None:
+        pending = list(self.subscriptions.values())
+        self.subscriptions.clear()
+        for subscription in pending:
+            self.server.unsubscribe(subscription)
+        # Unsubscribing closed the queues; pumps flush what's pending and
+        # exit on the ``None`` sentinel (or on the dying transport).
+        tasks = [s.task for s in pending if s.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self.server.forget_session(self)
+        writer = self.writer
+        writer.close()
+        try:
+            # Bounded for the same reason as the server's _close_quietly:
+            # an aborted peer can leave wait_closed pending forever.
+            await asyncio.wait_for(writer.wait_closed(), 1.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession({self.client_id}, "
+            f"{len(self.subscriptions)} subscriptions)"
+        )

@@ -1,0 +1,333 @@
+"""Federation lifecycle bugfix tests (PR 8).
+
+Three defects pinned here:
+
+* the gossip relay had no ``close()`` — tearing down a federation left
+  its relay callback subscribed to every zone bus segment, republishing
+  onto the dead coordinator bus forever;
+* ``GatherExec._shard_delta`` skipped the warm-shard ``fresh_view()``
+  first-tick catch-up on the remote (process-worker) path — a gather
+  created after a worker advanced silently missed the shard's standing
+  rows (and the frozen registry refused such gathers outright, even for
+  subtrees the workers already compute);
+* gather input stats were counted before deduplication, overstating
+  EXPLAIN ANALYZE cardinalities for shipped deltas with duplicates.
+"""
+
+import pytest
+
+from repro.algebra import col, scan
+from repro.algebra.context import EvaluationContext
+from repro.devices.sensors import TemperatureSensor
+from repro.errors import SerenaError
+from repro.fed import FederatedPEMS
+from repro.fed.gather import GatherExec, Shard
+from repro.model.attributes import Attribute
+from repro.model.environment import PervasiveEnvironment
+from repro.model.services import ServiceRegistry
+from repro.model.types import DataType
+from repro.model.xschema import ExtendedRelationSchema
+from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
+from repro.pems.pems import PEMS
+
+
+def sensor_announcement(reference="sensor01", instant=0):
+    service = TemperatureSensor(reference, "corridor").as_service()
+    return Announcement(AnnouncementKind.ALIVE, service, "erm", 4, instant)
+
+
+# -- gossip relay teardown ----------------------------------------------------
+
+
+class TestGossipClose:
+    def test_close_stops_relaying(self):
+        from repro.fed.gossip import GossipRelay
+
+        coordinator = DiscoveryBus()
+        segments = (DiscoveryBus(), DiscoveryBus())
+        relay = GossipRelay(coordinator, segments)
+        segments[0].publish(sensor_announcement("a"))
+        assert relay.relayed == 1
+        assert coordinator.published_count == 1
+        relay.close()
+        assert relay.closed
+        segments[0].publish(sensor_announcement("b", instant=1))
+        segments[1].publish(sensor_announcement("c", instant=1))
+        assert relay.relayed == 1  # nothing relayed after close
+        assert coordinator.published_count == 1
+        relay.close()  # idempotent
+        # The zone buses no longer hold the relay callback at all.
+        for segment in segments:
+            assert relay._callback not in segment._listeners
+
+    def test_federated_pems_close_detaches_relay(self):
+        fed = FederatedPEMS(zones=2)
+        zone_bus = next(iter(fed.zones.values())).bus
+        relayed_before = fed.gossip.relayed
+        fed.close()
+        assert fed.gossip.closed
+        zone_bus.publish(sensor_announcement("late"))
+        assert fed.gossip.relayed == relayed_before
+        fed.close()  # idempotent, including the worker shutdown path
+
+    def test_plain_pems_close_is_a_noop(self):
+        pems = PEMS()
+        pems.close()
+        pems.close()
+        assert pems.tick() == 1  # still usable; close holds no resources
+
+
+# -- gather stats count after dedup -------------------------------------------
+
+
+class _StubZone:
+    def __init__(self, name):
+        self.name = name
+
+
+class _StubRegistry:
+    """Remote-mode registry stub shipping a duplicate-laden delta."""
+
+    def __init__(self, pending):
+        self.pending = dict(pending)
+        self.views = {}
+
+    def take_remote(self, zone_name, digest):
+        return self.pending.pop((zone_name, digest), (frozenset(), frozenset()))
+
+    def remote_view(self, zone_name, digest):
+        return self.views.get((zone_name, digest))
+
+
+class _StubNode:
+    def symbol(self):
+        return "σ"
+
+
+class TestGatherStatsDedup:
+    def _ctx(self, instant):
+        environment = PervasiveEnvironment(ServiceRegistry())
+        return EvaluationContext(environment, instant, {}, continuous=True)
+
+    def test_duplicate_shipped_rows_counted_once(self):
+        row_a, row_b = ("a", 1.0), ("b", 2.0)
+        registry = _StubRegistry(
+            {("z0", "d0"): ([row_a, row_a, row_b], [])}
+        )
+        gather = GatherExec(
+            _StubNode(), [Shard(_StubZone("z0"), None, "d0")], registry
+        )
+        change = gather.tick(self._ctx(1))
+        assert change.inserted == frozenset({row_a, row_b})
+        assert gather.stats.input_inserted == 2  # not 3
+        assert gather.stats.input_deleted == 0
+        # And deletions dedup symmetrically on a later tick.
+        registry.pending[("z0", "d0")] = ([], [row_a, row_a])
+        change = gather.tick(self._ctx(2))
+        assert change.deleted == frozenset({row_a})
+        assert gather.stats.input_deleted == 1
+
+    def test_fresh_gather_replays_remote_view(self):
+        """A gather created after the worker advanced catches up from the
+        maintained remote view, not from the incremental pending delta."""
+        standing, fresh_row = ("old", 1.0), ("new", 2.0)
+        registry = _StubRegistry({("z0", "d0"): ([fresh_row], [])})
+        registry.views[("z0", "d0")] = frozenset({standing, fresh_row})
+        gather = GatherExec(
+            _StubNode(), [Shard(_StubZone("z0"), None, "d0")], registry
+        )
+        change = gather.tick(self._ctx(9))
+        assert change.inserted == frozenset({standing, fresh_row})
+        assert change.deleted == frozenset()
+        # The pending delta was consumed, not left to double-count.
+        assert registry.pending == {}
+
+
+# -- late registration in processes mode --------------------------------------
+
+
+def readings_schema():
+    return ExtendedRelationSchema(
+        "readings",
+        [
+            Attribute("device", DataType.SERVICE),
+            Attribute("sector", DataType.STRING),
+            Attribute("value", DataType.REAL),
+        ],
+    )
+
+
+SECTORS = 4
+
+
+def reading(idx, version=0):
+    return (
+        f"device-{idx}",
+        f"sector-{idx % SECTORS}",
+        float((idx * 13 + version * 7) % 97),
+    )
+
+
+def pinned_query(environment):
+    return (
+        scan(environment, "readings")
+        .select(col("sector").eq("sector-1"))
+        .project("device", "value")
+        .query()
+    )
+
+
+def fanout_query(environment):
+    return (
+        scan(environment, "readings")
+        .select(col("value").ge(50.0))
+        .project("sector")
+        .query()
+    )
+
+
+class _Timeline:
+    """One scripted run: churn every tick, deregister at 4, re-register
+    the same subtrees at 7, keep churning to 12."""
+
+    def __init__(self, pems):
+        self.pems = pems
+        pems.tables.create_relation(readings_schema())
+        self.relation = pems.tables.relation("readings")
+        self.rows = {idx: reading(idx) for idx in range(16)}
+        self.relation.insert(self.rows.values(), instant=0)
+        self.snapshots = {}
+
+    def churn(self, instant):
+        for idx in range(0, 16, 3):
+            replacement = reading(idx, version=instant)
+            if replacement != self.rows[idx]:
+                self.relation.delete([self.rows[idx]], instant=instant)
+                self.relation.insert([replacement], instant=instant)
+                self.rows[idx] = replacement
+
+    def run(self):
+        queries = self.pems.queries
+        env = self.pems.environment
+        queries.register_continuous(pinned_query(env), name="early-pin")
+        queries.register_continuous(fanout_query(env), name="early-fan")
+        for _ in range(4):
+            self.churn(self.pems.clock.now + 1)
+            self.pems.tick()
+        queries.deregister_continuous("early-pin")
+        queries.deregister_continuous("early-fan")
+        for _ in range(3):
+            self.churn(self.pems.clock.now + 1)
+            self.pems.tick()
+        late_pin = queries.register_continuous(pinned_query(env), name="late-pin")
+        late_fan = queries.register_continuous(fanout_query(env), name="late-fan")
+        for _ in range(5):
+            self.churn(self.pems.clock.now + 1)
+            self.pems.tick()
+            instant = self.pems.clock.now
+            self.snapshots[instant] = {
+                "pin": late_pin.last_result.relation.tuples,
+                "fan": late_fan.last_result.relation.tuples,
+                "pin-delta": (
+                    frozenset(late_pin.last_reported_delta.inserted),
+                    frozenset(late_pin.last_reported_delta.deleted),
+                ),
+            }
+        close = getattr(self.pems, "close", None)
+        if close is not None:
+            close()
+        return self.snapshots
+
+
+class TestLateRegistrationProcesses:
+    def _federated(self, parallelism):
+        return FederatedPEMS(
+            zones=2, parallelism=parallelism, partition_by={"readings": "sector"}
+        )
+
+    def test_reregistered_gather_matches_shared(self):
+        """Deregister + re-register the same scattered subtrees after the
+        workers forked: the fresh gathers must replay the warm shards'
+        standing rows (the remote-path catch-up) and stay tuple-identical
+        to the shared engine from the registration instant on."""
+        oracle = _Timeline(PEMS(engine="shared")).run()
+        run = _Timeline(self._federated("processes")).run()
+        assert run == oracle
+        # Non-vacuous: the pinned query has standing rows at re-register.
+        assert any(snapshot["pin"] for snapshot in oracle.values())
+
+    def test_reregistered_gather_matches_shared_lockstep(self):
+        """Same timeline under lockstep (the in-process catch-up path)."""
+        oracle = _Timeline(PEMS(engine="shared")).run()
+        assert _Timeline(self._federated(None)).run() == oracle
+
+    def test_lease_hit_late_registration_processes(self):
+        """Registering a second query over a *live* scattered subtree
+        after the fork is a lease hit and needs no new gather."""
+        pems = self._federated("processes")
+        try:
+            timeline = _Timeline(pems)
+            pems.queries.register_continuous(
+                pinned_query(pems.environment), name="early"
+            )
+            for _ in range(3):
+                timeline.churn(pems.clock.now + 1)
+                pems.tick()
+            late = pems.queries.register_continuous(
+                pinned_query(pems.environment), name="late"
+            )
+            timeline.churn(pems.clock.now + 1)
+            pems.tick()
+            early = pems.queries.continuous_query("early")
+            assert late.last_result.relation == early.last_result.relation
+        finally:
+            pems.close()
+
+    def test_unknown_subtree_still_frozen(self):
+        """A subtree no worker computes still cannot scatter post-fork."""
+        pems = self._federated("processes")
+        try:
+            timeline = _Timeline(pems)
+            pems.queries.register_continuous(
+                pinned_query(pems.environment), name="early"
+            )
+            pems.tick()
+            with pytest.raises(SerenaError, match="frozen"):
+                pems.queries.register_continuous(
+                    scan(pems.environment, "readings")
+                    .project("sector")
+                    .query(),
+                    name="late",
+                )
+        finally:
+            pems.close()
+
+    def test_nested_worker_subtree_can_scatter_late(self):
+        """The workers compute *nested* subtrees too (child leases), so a
+        late query over exactly a nested chain is admitted and correct."""
+        pems = self._federated("processes")
+        try:
+            timeline = _Timeline(pems)
+            env = pems.environment
+            outer = (
+                scan(env, "readings")
+                .select(col("value").ge(50.0))
+                .project("sector")
+                .query()
+            )
+            pems.queries.register_continuous(outer, name="early")
+            for _ in range(3):
+                timeline.churn(pems.clock.now + 1)
+                pems.tick()
+            inner = (
+                scan(env, "readings").select(col("value").ge(50.0)).query()
+            )
+            late = pems.queries.register_continuous(inner, name="late")
+            timeline.churn(pems.clock.now + 1)
+            pems.tick()
+            expected = frozenset(
+                row for row in timeline.rows.values() if row[2] >= 50.0
+            )
+            assert late.last_result.relation.tuples == expected
+        finally:
+            pems.close()

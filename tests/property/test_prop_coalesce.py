@@ -1,0 +1,176 @@
+"""Property-based laws of delta coalescing, both backends.
+
+The subscription server's bounded delivery queues fold overflowing
+entries with ``coalesce`` — chains of three and more merges, in whatever
+grouping the overflow happens to hit.  Correctness of that folding rests
+on three laws over *consecutive* contract-clean deltas:
+
+* **associativity** — any grouping of a coalesce chain yields the same
+  delta, so the queue may merge neighbours in any order;
+* **contract-cleanliness** — the merged delta is again a valid two-delta
+  (“disjoint sides, applicable to the pre-state”), so it can itself be
+  merged further or applied directly;
+* **replay equivalence** — applying the merged delta to the chain's
+  pre-state lands exactly on the chain's final state, which is why
+  overflow coalescing is lossless for final state.
+
+Consecutive deltas are generated from a state trajectory: drawing the
+*states* (not the deltas) makes every generated chain consecutive and
+contract-clean by construction, with interleaved insert/delete churn —
+the same tuples routinely enter, leave and re-enter across the chain.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.columnar import ColumnarDelta
+from repro.exec.delta import Delta
+
+WIDTH = 2
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-8, max_value=8),
+    st.sampled_from(["a", "b", "c"]),
+)
+
+#: A small tuple universe so successive states overlap heavily: churn,
+#: cancellation (insert-then-delete) and re-insertion all get exercised.
+states = st.frozensets(st.tuples(values, values), max_size=6)
+
+#: A trajectory S0 → S1 → … → Sn with n ≥ 3 transitions, i.e. chains of
+#: three or more coalesces once folded.
+trajectories = st.tuples(
+    states, st.lists(states, min_size=3, max_size=6)
+)
+
+
+def deltas_of(initial, targets, make):
+    """The consecutive delta chain walking ``initial`` through ``targets``."""
+    chain = []
+    state = initial
+    for target in targets:
+        chain.append(make(target - state, state - target))
+        state = target
+    return chain
+
+
+def make_row(inserted, deleted):
+    return Delta(frozenset(inserted), frozenset(deleted))
+
+
+def make_columnar(inserted, deleted):
+    return ColumnarDelta.from_sets(
+        frozenset(inserted), frozenset(deleted), WIDTH
+    )
+
+
+def fold_left(chain):
+    merged = chain[0]
+    for later in chain[1:]:
+        merged = merged.coalesce(later)
+    return merged
+
+
+def fold_right(chain):
+    merged = chain[-1]
+    for earlier in reversed(chain[:-1]):
+        merged = earlier.coalesce(merged)
+    return merged
+
+
+def random_groupings(chain):
+    """A few distinct association orders beyond the two linear folds:
+    merge a middle pair first, then fold the rest."""
+    for pivot in range(1, len(chain) - 1):
+        grouped = (
+            chain[:pivot]
+            + [chain[pivot].coalesce(chain[pivot + 1])]
+            + chain[pivot + 2 :]
+        )
+        yield fold_left(grouped)
+
+
+BACKENDS = [make_row, make_columnar]
+
+
+class TestCoalesceLaws:
+    @given(trajectories)
+    @settings(max_examples=200)
+    def test_associative_row(self, trajectory):
+        initial, targets = trajectory
+        chain = deltas_of(initial, targets, make_row)
+        reference = fold_left(chain)
+        assert fold_right(chain) == reference
+        for merged in random_groupings(chain):
+            assert merged == reference
+
+    @given(trajectories)
+    @settings(max_examples=200)
+    def test_associative_columnar(self, trajectory):
+        initial, targets = trajectory
+        chain = deltas_of(initial, targets, make_columnar)
+        reference = fold_left(chain)
+        assert fold_right(chain) == reference
+        for merged in random_groupings(chain):
+            assert merged == reference
+
+    @given(trajectories)
+    @settings(max_examples=200)
+    def test_contract_clean(self, trajectory):
+        initial, targets = trajectory
+        for make in BACKENDS:
+            merged = fold_left(deltas_of(initial, targets, make))
+            inserted, deleted = merged.inserted, merged.deleted
+            assert not inserted & deleted
+            assert not inserted & initial  # inserts are new to the pre-state
+            assert deleted <= initial  # deletes existed in the pre-state
+
+    @given(trajectories)
+    @settings(max_examples=200)
+    def test_replay_equivalence(self, trajectory):
+        initial, targets = trajectory
+        final = targets[-1]
+        for make in BACKENDS:
+            merged = fold_left(deltas_of(initial, targets, make))
+            assert (initial - merged.deleted) | merged.inserted == final
+            # The merge is exactly the net start→end difference: nothing
+            # transient survives (insert-then-delete and delete-then-
+            # re-insert pairs cancel).
+            assert merged.inserted == final - initial
+            assert merged.deleted == initial - final
+
+    @given(trajectories)
+    @settings(max_examples=100)
+    def test_mixed_backends_interoperate(self, trajectory):
+        """coalesce accepts the *other* backend on its right-hand side and
+        the laws still hold (the server queue never forces a conversion)."""
+        initial, targets = trajectory
+        mixed = [
+            (make_row if i % 2 == 0 else make_columnar)(
+                delta.inserted, delta.deleted
+            )
+            for i, delta in enumerate(
+                deltas_of(initial, targets, make_row)
+            )
+        ]
+        reference = fold_left(deltas_of(initial, targets, make_row))
+        assert fold_left(mixed) == reference
+        assert fold_right(mixed) == reference
+
+    def test_identity_fast_paths(self):
+        """Empty sides short-circuit without changing semantics, and the
+        row path canonicalizes to the EMPTY_DELTA singleton."""
+        from repro.exec.delta import EMPTY_DELTA
+
+        busy = Delta(frozenset({("a", 1)}), frozenset({("b", 2)}))
+        assert busy.coalesce(EMPTY_DELTA) is busy
+        assert EMPTY_DELTA.coalesce(busy) == busy
+        assert EMPTY_DELTA.coalesce(EMPTY_DELTA) is EMPTY_DELTA
+        undo = Delta(busy.deleted, busy.inserted)
+        assert busy.coalesce(undo) is EMPTY_DELTA
+
+        cbusy = ColumnarDelta.from_sets(busy.inserted, busy.deleted, WIDTH)
+        cempty = ColumnarDelta.from_sets(frozenset(), frozenset(), WIDTH)
+        assert cbusy.coalesce(cempty) is cbusy
+        assert cempty.coalesce(cbusy) == cbusy
+        assert not cbusy.coalesce(undo)

@@ -1,0 +1,141 @@
+"""Delivery-queue semantics: bounded, coalescing, never blocking."""
+
+import asyncio
+
+import pytest
+
+from repro.exec.delta import Delta, EMPTY_DELTA
+from repro.server.delivery import DeliveryQueue, QueuedDelta
+
+
+def entry(first, last=None, inserted=(), deleted=(), at=1.0):
+    return QueuedDelta(
+        first,
+        first if last is None else last,
+        Delta(frozenset(inserted), frozenset(deleted)),
+        0,
+        at,
+    )
+
+
+def drain(queue):
+    """Synchronously pop everything currently pending."""
+    out = []
+    while queue.lag:
+        out.append(asyncio.run(queue.get()))
+    return out
+
+
+class TestBounds:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryQueue(1)
+
+    def test_fifo_below_depth(self):
+        queue = DeliveryQueue(4)
+        for τ in (1, 2, 3):
+            queue.publish(entry(τ, inserted={("r", τ)}))
+        entries = drain(queue)
+        assert [e.first for e in entries] == [1, 2, 3]
+        assert queue.published == 3 and queue.delivered == 3
+        assert queue.coalesced == 0 and queue.dropped == 0
+
+    def test_overflow_coalesces_oldest_pair(self):
+        queue = DeliveryQueue(2)
+        queue.publish(entry(1, inserted={("a",)}))
+        queue.publish(entry(2, inserted={("b",)}))
+        queue.publish(entry(3, inserted={("c",)}))  # overflow
+        assert queue.coalesced == 1
+        first, second = drain(queue)
+        assert (first.first, first.last) == (1, 2)
+        assert first.delta.inserted == {("a",), ("b",)}
+        assert first.coalesced == 1
+        assert (second.first, second.last) == (3, 3)
+
+    def test_freshest_entries_keep_full_resolution(self):
+        """Merging always happens at the old end: after heavy overflow the
+        newest depth-1 entries are still per-instant."""
+        queue = DeliveryQueue(4)
+        for τ in range(1, 11):
+            queue.publish(entry(τ, inserted={("r", τ)}))
+        entries = drain(queue)
+        assert entries[0].first == 1  # one big merged span at the front
+        assert [e.first for e in entries[1:]] == [8, 9, 10]
+        assert all(e.coalesced == 0 for e in entries[1:])
+
+    def test_net_zero_merge_drops(self):
+        queue = DeliveryQueue(2)
+        queue.publish(entry(1, inserted={("a",)}))
+        queue.publish(entry(2, deleted={("a",)}))  # cancels entry 1
+        queue.publish(entry(3, inserted={("b",)}))
+        assert queue.dropped == 1 and queue.coalesced == 1
+        entries = drain(queue)
+        assert len(entries) == 1
+        assert entries[0].first == 3
+
+    def test_merge_keeps_oldest_publish_stamp(self):
+        queue = DeliveryQueue(2)
+        queue.publish(entry(1, inserted={("a",)}, at=10.0))
+        queue.publish(entry(2, inserted={("b",)}, at=20.0))
+        queue.publish(entry(3, inserted={("c",)}, at=30.0))
+        merged = drain(queue)[0]
+        assert merged.published_at == 10.0  # worst-case delivery age
+
+
+class TestReplayLosslessness:
+    def test_replay_matches_at_any_depth(self):
+        """Whatever the queue depth (= however much coalescing), applying
+        the drained entries in order lands on the same final state."""
+        script = [
+            ({("a",), ("b",)}, set()),
+            ({("c",)}, {("a",)}),
+            (set(), {("b",)}),
+            ({("a",), ("d",)}, {("c",)}),
+            ({("b",)}, {("d",)}),
+        ]
+        final_states = []
+        for depth in (2, 3, 64):
+            queue = DeliveryQueue(depth)
+            for τ, (ins, dels) in enumerate(script, start=1):
+                queue.publish(entry(τ, inserted=ins, deleted=dels))
+            state: set = set()
+            for item in drain(queue):
+                assert not item.delta.inserted & state
+                assert item.delta.deleted <= state
+                state = (state - item.delta.deleted) | item.delta.inserted
+            final_states.append(frozenset(state))
+        assert len(set(final_states)) == 1
+        assert final_states[0] == {("a",), ("b",)}
+
+
+class TestAsyncConsumption:
+    def test_get_waits_for_publish(self):
+        async def scenario():
+            queue = DeliveryQueue(4)
+            waiter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            queue.publish(entry(1, inserted={("a",)}))
+            got = await asyncio.wait_for(waiter, 1)
+            assert got.first == 1
+
+        asyncio.run(scenario())
+
+    def test_close_drains_then_signals_none(self):
+        async def scenario():
+            queue = DeliveryQueue(4)
+            queue.publish(entry(1, inserted={("a",)}))
+            queue.close()
+            assert (await queue.get()).first == 1
+            assert await queue.get() is None
+            assert await queue.get() is None  # stays closed
+            queue.publish(entry(2))  # ignored after close
+            assert queue.lag == 0
+
+        asyncio.run(scenario())
+
+    def test_empty_delta_entries_pass_through_unmerged(self):
+        queue = DeliveryQueue(4)
+        queue.publish(QueuedDelta(1, 1, EMPTY_DELTA, 0, 0.0))
+        queue.publish(entry(2, inserted={("a",)}))
+        assert [e.first for e in drain(queue)] == [1, 2]

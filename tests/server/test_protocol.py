@@ -1,0 +1,77 @@
+"""Wire-format tests: JSONL framing, row rendering, the SSE shim."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    ProtocolError,
+    decode_line,
+    encode,
+    render_rows,
+    sse_error_response,
+    sse_event,
+    sse_response_head,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_line(self):
+        line = encode({"type": "pong", "instant": 7})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line) == {"type": "pong", "instant": 7}
+
+    def test_roundtrip(self):
+        message = {"op": "register", "sql": "SELECT * FROM r", "name": "q"}
+        assert decode_line(encode(message)) == message
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_line(b"{nope\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError, match="op"):
+            decode_line(b'{"sql": "SELECT 1"}\n')
+
+    def test_non_json_values_degrade_to_strings(self):
+        line = encode({"type": "delta", "inserted": [[frozenset()]]})
+        assert json.loads(line)  # default=str keeps the wire valid
+
+
+class TestRows:
+    def test_rows_are_sorted_lists(self):
+        rows = render_rows({("b", 2.0), ("a", 1.0), ("a", 0.5)})
+        assert rows == sorted(rows, key=repr)
+        assert all(isinstance(row, list) for row in rows)
+        assert ["a", 1.0] in rows
+
+    def test_deterministic_across_set_orders(self):
+        tuples = [("x", i) for i in range(20)]
+        assert render_rows(frozenset(tuples)) == render_rows(
+            frozenset(reversed(tuples))
+        )
+
+
+class TestSse:
+    def test_response_head(self):
+        head = sse_response_head()
+        assert head.startswith(b"HTTP/1.1 200")
+        assert b"text/event-stream" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_event_framing(self):
+        event = sse_event({"type": "delta", "first": 1})
+        assert event.startswith(b"data: ")
+        assert event.endswith(b"\n\n")
+        assert json.loads(event[6:]) == {"type": "delta", "first": 1}
+
+    def test_error_response_has_length(self):
+        response = sse_error_response("400 Bad Request", "nope")
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"400" in head
+        assert f"Content-Length: {len(body)}".encode() in head
