@@ -1,0 +1,174 @@
+"""Experiment X9 — semantic substitution: rebind latency and the cost of
+carrying the machinery when nothing fails.
+
+Two measurements against the §5.2 surveillance scenario on the shared
+engine:
+
+* **Fault-free overhead** — the same chaos-free workload runs once bare
+  and once with a spare sensor registered and a substitution rule
+  declared; with no failures the rule never fires, so the entire cost is
+  the per-tick failover-table sweep and must stay within 5% of the bare
+  configuration.
+* **Rebind latency** — a sensor crashes permanently on schedule; we
+  record how many instants pass until the sticky binding is installed
+  (it must be at most ``quarantine_backoff + 1``) and verify the dead
+  sensor's readings kept flowing at every single instant in between
+  (the failover table serves the gap).
+
+Results land in ``benchmarks/reports/substitution.txt`` and,
+machine-readable, in ``BENCH_substitution.json`` at the repository root.
+Set ``BENCH_SMOKE=1`` for the reduced CI configuration.
+"""
+
+import json
+import os
+from time import perf_counter
+
+from repro.bench.reporting import Report
+from repro.devices.faults import FaultScript
+from repro.devices.scenario import build_temperature_surveillance
+from repro.model.invocation_policy import InvocationPolicy
+from repro.model.substitution import SubstitutionRule
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+TICKS = 40 if SMOKE else 240
+REPEATS = 3 if SMOKE else 5  # best-of-N tames scheduler noise
+MAX_OVERHEAD = 0.50 if SMOKE else 0.05  # smoke runs are noise-dominated
+
+POLICY = InvocationPolicy(failure_threshold=1, quarantine_backoff=8)
+
+CRASH_AT = 20
+SPARES = (("spare-roof", "roof", 15.5),)
+RULES = (
+    SubstitutionRule.specializes(
+        "getTemperature", "spare-roof", "getEnvReading", reference="sensor22"
+    ),
+)
+
+
+def run_fault_free(with_substitution):
+    """Tick the chaos-free scenario; returns evaluation seconds.
+
+    The spare is registered in *both* configurations (one more device is
+    a cost of provisioning hardware, not of this subsystem); only the
+    rule declaration — hence the sweep, scoring and failover table —
+    varies between the runs."""
+    scenario = build_temperature_surveillance(
+        engine="shared",
+        policy=POLICY,
+        spare_sensors=SPARES,
+        substitutions=RULES if with_substitution else (),
+    )
+    scenario.run(1)  # warm-up: executor trees, discovery sync, first rows
+    began = perf_counter()
+    scenario.run(TICKS)
+    return perf_counter() - began
+
+
+def run_rebind():
+    """Crash sensor22 for good; track the binding and the readings."""
+    scenario = build_temperature_surveillance(
+        engine="shared",
+        policy=POLICY,
+        sensor_faults={"sensor22": FaultScript(crash_at=CRASH_AT)},
+        fault_seed="bench-sub",
+        spare_sensors=SPARES,
+        substitutions=RULES,
+    )
+    pems = scenario.pems
+    rebound_at = None
+    missed = []
+    horizon = CRASH_AT + 2 * POLICY.quarantine_backoff
+    for _ in range(horizon):
+        now = scenario.run(1)
+        fed = {
+            row[0]
+            for row in pems.environment.instantaneous("temperatures", now)
+            if row[3] == now
+        }
+        if "sensor22" not in fed:
+            missed.append(now)
+        bound = pems.environment.registry.substitutions.bindings
+        if rebound_at is None and ("getTemperature", "sensor22") in bound:
+            rebound_at = now
+    assert rebound_at is not None, "the crashed sensor was never rebound"
+    assert not missed, f"sensor22 readings missed instants {missed}"
+    return {
+        "crash_at": CRASH_AT,
+        "rebound_at": rebound_at,
+        "rebind_latency_ticks": rebound_at - CRASH_AT,
+        "quarantine_backoff": POLICY.quarantine_backoff,
+        "missed_ticks": len(missed),
+        "horizon": horizon,
+    }
+
+
+def test_bench_substitution(benchmark):
+    def run():
+        # Alternate the configurations so drift hits both equally, and
+        # keep the best of each: the minimum is the least-noisy estimate
+        # of the true cost on a sub-100ms workload.
+        pairs = [
+            (run_fault_free(False), run_fault_free(True))
+            for _ in range(REPEATS)
+        ]
+        baseline = min(b for b, _ in pairs)
+        with_rules = min(s for _, s in pairs)
+        return baseline, with_rules, run_rebind()
+
+    baseline, with_rules, rebind = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    overhead = with_rules / baseline - 1.0
+    assert overhead <= MAX_OVERHEAD, (
+        f"substitution machinery costs {overhead:.1%} over the bare "
+        f"configuration ({TICKS} fault-free ticks)"
+    )
+    # The sweep installs the binding on the tick after the quarantine
+    # stamp — well within the acceptance bound.
+    assert rebind["rebind_latency_ticks"] <= rebind["quarantine_backoff"] + 1
+
+    payload = {
+        "workload": "temperature_surveillance(shared)",
+        "ticks": TICKS,
+        "baseline_seconds": round(baseline, 6),
+        "substitution_seconds": round(with_rules, 6),
+        "fault_free_overhead": round(overhead, 4),
+        "policy": {
+            "failure_threshold": POLICY.failure_threshold,
+            "quarantine_backoff": POLICY.quarantine_backoff,
+        },
+        "rebind": rebind,
+        "mode": "smoke" if SMOKE else "full",
+    }
+    if not SMOKE:  # the committed artifact records the full configuration
+        root = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+        with open(os.path.join(root, "BENCH_substitution.json"), "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+    report = Report("substitution")
+    report.table(
+        ["configuration", "total (s)", "per tick (ms)"],
+        [
+            ["bare", f"{baseline:.4f}", f"{baseline / TICKS * 1000:.3f}"],
+            [
+                "substitution",
+                f"{with_rules:.4f}",
+                f"{with_rules / TICKS * 1000:.3f}",
+            ],
+        ],
+        title=(
+            f"Fault-free substitution overhead: surveillance scenario, "
+            f"shared engine, {TICKS} timed ticks"
+        ),
+    )
+    report.add(f"Overhead: {overhead:+.1%} (bound {MAX_OVERHEAD:.0%})")
+    report.add(
+        "Rebind: permanent crash at {crash_at} → bound at {rebound_at} "
+        "(latency {rebind_latency_ticks} ticks, backoff "
+        "{quarantine_backoff}, {missed_ticks} missed readings over "
+        "{horizon} instants)".format(**rebind)
+    )
+    report.emit()

@@ -68,8 +68,55 @@ def check_server(payload: dict, name: str) -> list[str]:
     return problems
 
 
+#: Per-rebind fields the substitution artifact must carry.
+SUBSTITUTION_REBIND_KEYS = (
+    "crash_at",
+    "rebound_at",
+    "rebind_latency_ticks",
+    "quarantine_backoff",
+    "missed_ticks",
+)
+
+
+def check_substitution(payload: dict, name: str) -> list[str]:
+    """``BENCH_substitution.json`` pins the ISSUE 9 acceptance numbers:
+    the fault-free overhead of carrying the machinery stays within 5%
+    and the rebind happened within the policy backoff + 1 tick with no
+    missed readings."""
+    problems: list[str] = []
+    overhead = payload.get("fault_free_overhead")
+    if not isinstance(overhead, (int, float)):
+        problems.append(f"{name}: missing numeric 'fault_free_overhead'")
+    elif payload.get("mode") == "full" and overhead > 0.05:
+        problems.append(
+            f"{name}: full-mode fault-free overhead {overhead:.1%} exceeds "
+            "the 5% acceptance bound"
+        )
+    rebind = payload.get("rebind")
+    if not isinstance(rebind, dict):
+        return problems + [f"{name}: missing 'rebind' object"]
+    for key in SUBSTITUTION_REBIND_KEYS:
+        if not isinstance(rebind.get(key), (int, float)):
+            problems.append(f"{name}: rebind missing numeric {key!r}")
+            return problems
+    if rebind["rebind_latency_ticks"] > rebind["quarantine_backoff"] + 1:
+        problems.append(
+            f"{name}: rebind latency {rebind['rebind_latency_ticks']} ticks "
+            f"exceeds quarantine_backoff + 1 ({rebind['quarantine_backoff']} + 1)"
+        )
+    if rebind["missed_ticks"]:
+        problems.append(
+            f"{name}: {rebind['missed_ticks']} missed readings — the "
+            "failover/rebind path did not keep the query reporting"
+        )
+    return problems
+
+
 #: Artifact-specific validators beyond the common metadata keys.
-EXTRA_CHECKS = {"BENCH_server.json": check_server}
+EXTRA_CHECKS = {
+    "BENCH_server.json": check_server,
+    "BENCH_substitution.json": check_substitution,
+}
 
 
 def check_file(path: Path) -> list[str]:

@@ -159,6 +159,24 @@ class Invocation(Operator):
         # leave the operand (contribute nothing, are not retried).
         parked: set[tuple] = state.setdefault("parked", set())
         asynchronous = self.delay > 0 and ctx.continuous
+        # Rebind-instant invalidation (mirrors InvocationExec): cached
+        # results of operand tuples whose service reference was rebound
+        # since the last evaluation are dropped, so the re-computed result
+        # flows through the new substitution route this very instant.
+        subs = ctx.environment.registry.substitutions
+        if subs.epoch != state.get("sub_epoch", 0):
+            rebound = subs.rebound_since(
+                prototype.name, state.get("sub_epoch", 0)
+            )
+            state["sub_epoch"] = subs.epoch
+            if rebound:
+                for stale in [t for t in cache if t[service_pos] in rebound]:
+                    del cache[stale]
+                for stale in [t for t in due if t[service_pos] in rebound]:
+                    del due[stale]  # re-scheduled with the full delay
+                parked.difference_update(
+                    t for t in parked if t[service_pos] in rebound
+                )
         seen_now: set[tuple] = set()
 
         out = []

@@ -27,6 +27,8 @@ Run ``python -m repro`` for an interactive session, or
                             ``temperature federated``)
   ``.shards``               per-zone shard state of a federated PEMS:
                             services, rows, scattered subplans
+  ``.substitutions``        declared substitution rules, active rebinds,
+                            the failover table and the rebind history
   ``.analyze [name]``       EXPLAIN ANALYZE of registered continuous
                             queries: per-executor cumulative run stats
   ``.metrics [json]``       the metrics registry (Prometheus text, or a
@@ -38,7 +40,9 @@ Run ``python -m repro`` for an interactive session, or
   ``.stats``                relation cardinalities and distinct counts
   ``.sal <expr>``           evaluate a Serena Algebra Language expression
   ``.rule head(x) :- ...``  evaluate a conjunctive-calculus rule
-  ``.demo temperature|rss`` load a ready-made §5.2 scenario
+  ``.demo temperature|rss`` load a ready-made §5.2 scenario; ``.demo
+                            substitution`` adds a scripted permanent
+                            sensor crash with a declared spare (§13)
   ``.serve [port [n [ms]]]`` serve continuous-query deltas over TCP/SSE:
                             tick every ``ms`` milliseconds (default 100)
                             for ``n`` instants (default: until Ctrl-C);
@@ -85,6 +89,7 @@ class SerenaShell:
             "actions": self._cmd_actions,
             "explain": self._cmd_explain,
             "shards": self._cmd_shards,
+            "substitutions": self._cmd_substitutions,
             "analyze": self._cmd_analyze,
             "metrics": self._cmd_metrics,
             "trace": self._cmd_trace,
@@ -273,6 +278,30 @@ class SerenaShell:
                 f"refs={row['refcount']} zones={','.join(row['zones'])}{pruned}"
             )
 
+    def _cmd_substitutions(self, argument: str) -> None:
+        report = self.pems.erm.substitution_report()
+        if not report["rules"]:
+            self._print("(no substitution rules declared)")
+            return
+        self._print(f"epoch {report['epoch']}")
+        self._print("rules:")
+        for rule in report["rules"]:
+            self._print(f"  {rule}")
+        if report["bindings"]:
+            self._print("active bindings:")
+            for key, plan in report["bindings"].items():
+                self._print(f"  {key} -> {plan}")
+        else:
+            self._print("(no active bindings)")
+        if report["failover"]:
+            self._print("failover table:")
+            for key, plans in report["failover"].items():
+                self._print(f"  {key}: {'; '.join(plans)}")
+        if report["history"]:
+            self._print("rebind history:")
+            for line in report["history"]:
+                self._print(f"  {line}")
+
     def _cmd_analyze(self, argument: str) -> None:
         from repro.lang.printer import explain_analyze
 
@@ -414,10 +443,35 @@ class SerenaShell:
         engine = engine.strip() or "incremental"
         if name == "temperature":
             self._scenario = build_temperature_surveillance(engine=engine)
+        elif name == "substitution":
+            from repro.devices.faults import FaultScript
+            from repro.model.invocation_policy import InvocationPolicy
+            from repro.model.substitution import SubstitutionRule
+
+            # The TUTORIAL §12 walkthrough: sensor22 dies for good at
+            # instant 20; a spare environmental station on the roof stands
+            # in via a ``specializes`` projection.  ``.tick 25`` then
+            # ``.substitutions`` shows the rebind.
+            self._scenario = build_temperature_surveillance(
+                engine=engine,
+                policy=InvocationPolicy(
+                    failure_threshold=1, quarantine_backoff=8
+                ),
+                sensor_faults={"sensor22": FaultScript(crash_at=20)},
+                spare_sensors=(("spare-roof", "roof", 15.5),),
+                substitutions=(
+                    SubstitutionRule.specializes(
+                        "getTemperature",
+                        "spare-roof",
+                        "getEnvReading",
+                        reference="sensor22",
+                    ),
+                ),
+            )
         elif name == "rss":
             self._scenario = build_rss_scenario(engine=engine)
         else:
-            self._print("usage: .demo temperature|rss [engine]")
+            self._print("usage: .demo temperature|substitution|rss [engine]")
             return
         self.pems = self._scenario.pems
         self._print(

@@ -49,6 +49,12 @@ class FaultScript:
 
     Parameters
     ----------
+    crash_at:
+        Permanent crash: from this instant on, every invocation fails
+        forever (kind ``"crash_permanent"``).  Unlike a crash *window*
+        the device never recovers — the probe after every quarantine
+        backoff keeps failing, which is what drives the semantic
+        substitution path (a substitute takes over the binding for good).
     crash_windows:
         Half-open instant intervals ``[start, end)`` during which every
         invocation fails (the device is unreachable).
@@ -66,12 +72,15 @@ class FaultScript:
         registry's schema validation turns them into invocation errors.
     """
 
+    crash_at: int | None = None
     crash_windows: tuple[tuple[int, int], ...] = ()
     failure_rate: float = 0.0
     latency_spike_rate: float = 0.0
     malformed_windows: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self):
+        if self.crash_at is not None and self.crash_at < 0:
+            raise ValueError(f"crash_at must be >= 0, got {self.crash_at}")
         for start, end in (*self.crash_windows, *self.malformed_windows):
             if end < start:
                 raise ValueError(f"fault window [{start}, {end}) ends before it starts")
@@ -84,8 +93,10 @@ class FaultScript:
         """The fault kind tripped at ``instant``, or None.
 
         Pure in ``(seed, reference, instant)``; evaluation order is
-        crash > malformed > intermittent > timeout.
+        crash_permanent > crash > malformed > intermittent > timeout.
         """
+        if self.crash_at is not None and instant >= self.crash_at:
+            return "crash_permanent"
         for start, end in self.crash_windows:
             if start <= instant < end:
                 return "crash"

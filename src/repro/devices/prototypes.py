@@ -20,6 +20,7 @@ __all__ = [
     "CHECK_PHOTO",
     "TAKE_PHOTO",
     "GET_TEMPERATURE",
+    "GET_ENV_READING",
     "FETCH_ITEMS",
     "STANDARD_PROTOTYPES",
 ]
@@ -56,6 +57,16 @@ GET_TEMPERATURE = Prototype(
     "getTemperature",
     RelationSchema(()),
     RelationSchema.of(temperature="REAL"),
+)
+
+#: A richer environmental reading whose output schema is a superset of
+#: ``getTemperature``'s: the ``specializes`` substitution rule projects it
+#: down, letting a combined temperature/humidity spare stand in for a dead
+#: temperature sensor without ever joining the ``sensors`` discovery table.
+GET_ENV_READING = Prototype(
+    "getEnvReading",
+    RelationSchema(()),
+    RelationSchema.of(temperature="REAL", humidity="REAL"),
 )
 
 #: RSS wrapper prototype (Section 5.2, second scenario): fetch the current

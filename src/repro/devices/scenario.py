@@ -30,6 +30,7 @@ from repro.devices.cameras import Camera
 from repro.devices.messengers import Messenger, Outbox, email_service, jabber_service, sms_service
 from repro.devices.prototypes import (
     CHECK_PHOTO,
+    GET_ENV_READING,
     GET_TEMPERATURE,
     SEND_MESSAGE,
     SEND_PHOTO_MESSAGE,
@@ -38,10 +39,15 @@ from repro.devices.prototypes import (
 )
 from repro.devices.faults import FaultInjector, FaultScript
 from repro.devices.rss import DEFAULT_SITES, RssFeed, RssStreamWrapper
-from repro.devices.sensors import SensorStreamFeeder, TemperatureSensor
+from repro.devices.sensors import (
+    EnvironmentalSensor,
+    SensorStreamFeeder,
+    TemperatureSensor,
+)
 from repro.model.attributes import Attribute
 from repro.model.binding import BindingPattern
 from repro.model.invocation_policy import InvocationPolicy
+from repro.model.substitution import SubstitutionRule
 from repro.model.types import DataType
 from repro.model.xschema import ExtendedRelationSchema
 from repro.pems.pems import PEMS
@@ -222,6 +228,7 @@ class Scenario:
     feeds: dict[str, RssFeed] = field(default_factory=dict)
     queries: dict[str, ContinuousQuery] = field(default_factory=dict)
     injectors: dict[str, FaultInjector] = field(default_factory=dict)
+    spares: dict[str, EnvironmentalSensor] = field(default_factory=dict)
 
     @property
     def environment(self):
@@ -303,6 +310,8 @@ def build_temperature_surveillance(
     sensor_faults: dict[str, FaultScript] | None = None,
     fault_seed: object = "chaos",
     observe: object = None,
+    spare_sensors: tuple[tuple[str, str, float], ...] = (),
+    substitutions: tuple[SubstitutionRule, ...] = (),
 ) -> Scenario:
     """Assemble the full temperature surveillance environment.
 
@@ -332,11 +341,20 @@ def build_temperature_surveillance(
     chaos flows through the same discovery/invocation path as the §5.2
     ``messenger_failure_rate`` flakiness.  ``observe`` sets the
     observability mode (see :class:`~repro.pems.pems.PEMS`).
+
+    ``spare_sensors`` registers ``(reference, location, base)``
+    environmental stations (``getEnvReading`` only — they never join the
+    ``sensors`` table on their own) and ``substitutions`` declares
+    substitution rules with the core ERM, so a scripted permanent crash
+    (``FaultScript(crash_at=...)``) exercises the full semantic-rebinding
+    path: quarantine → sticky rebind → projected spare readings.
     """
     pems = _make_pems(engine, policy, observe)
     env = pems.environment
     for prototype in STANDARD_PROTOTYPES:
         env.declare_prototype(prototype)
+    if spare_sensors:
+        env.declare_prototype(GET_ENV_READING)
 
     outbox = Outbox()
     scenario = Scenario(pems, outbox)
@@ -355,6 +373,12 @@ def build_temperature_surveillance(
             scenario.injectors[reference] = injector
             registered = injector.as_service()
         field_erm.register(registered)
+    for reference, location, base in spare_sensors:
+        spare = EnvironmentalSensor(reference, location, base)
+        scenario.spares[reference] = spare
+        field_erm.register(spare.as_service())
+    for rule in substitutions:
+        pems.declare_substitution(rule)
     for reference, area, quality, delay in _DEFAULT_CAMERAS:
         camera = Camera(reference, area, quality, delay)
         scenario.cameras[reference] = camera

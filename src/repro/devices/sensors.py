@@ -23,11 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.devices.determinism import stable_gauss_like
-from repro.devices.prototypes import GET_TEMPERATURE
+from repro.devices.prototypes import GET_ENV_READING, GET_TEMPERATURE
 from repro.errors import ServiceError
 from repro.model.services import Service, ServiceRegistry
 
-__all__ = ["TemperatureSensor", "SensorStreamFeeder"]
+__all__ = ["TemperatureSensor", "EnvironmentalSensor", "SensorStreamFeeder"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +103,54 @@ class TemperatureSensor:
 
     def __repr__(self) -> str:
         return f"TemperatureSensor({self.reference!r} @ {self.location!r})"
+
+
+class EnvironmentalSensor(TemperatureSensor):
+    """A combined temperature/humidity station implementing the richer
+    ``getEnvReading`` prototype — and *only* that one.
+
+    Because it does not implement ``getTemperature`` it never joins the
+    ``sensors`` discovery table or the temperature stream on its own; it
+    participates exactly when a ``specializes`` substitution rule projects
+    its readings down for a dead temperature sensor — the standard spare
+    device of the substitution scenarios.
+    """
+
+    def __init__(
+        self,
+        reference: str,
+        location: str,
+        base: float = 20.0,
+        noise: float = 0.3,
+        base_humidity: float = 45.0,
+    ):
+        super().__init__(reference, location, base, noise)
+        self.base_humidity = base_humidity
+
+    def humidity(self, instant: int) -> float:
+        """Relative humidity at ``instant`` (pure function of the instant)."""
+        drift = 4.0 * stable_gauss_like(self.reference, "hum-drift", instant // 60)
+        noise = 1.5 * stable_gauss_like(self.reference, "hum-noise", instant)
+        return round(self.base_humidity + drift + noise, 2)
+
+    def as_service(self) -> Service:
+        def get_env_reading(inputs, instant):
+            return [
+                {
+                    "temperature": self.temperature(instant),
+                    "humidity": self.humidity(instant),
+                }
+            ]
+
+        return Service(
+            self.reference,
+            {GET_ENV_READING: get_env_reading},
+            description=f"environmental station in {self.location}",
+            properties={"location": self.location},
+        )
+
+    def __repr__(self) -> str:
+        return f"EnvironmentalSensor({self.reference!r} @ {self.location!r})"
 
 
 class SensorStreamFeeder:

@@ -729,6 +729,9 @@ class InvocationExec(Executor):
         self._parked: set[tuple] = set()
         #: rows invoked but not yet published (mid-tick failure recovery).
         self._unflushed: set[tuple] = set()
+        #: substitution epoch this executor's cache is consistent with
+        #: (see SubstitutionState.rebound_since).
+        self._sub_epoch = 0
 
     def _rows(self, t: tuple, outputs: list[tuple]) -> frozenset[tuple]:
         return frozenset(
@@ -761,6 +764,30 @@ class InvocationExec(Executor):
         # `current`; publish them now that this advance completes.
         inserted: set[tuple] = set(self._unflushed)
         deleted: set[tuple] = set()
+        # Rebind-instant delta protocol: operand tuples whose service
+        # reference was rebound (or released) since the last advance are
+        # re-invoked through the new route — their old rows are deleted
+        # and the fresh rows inserted within this very tick, so every
+        # engine stays tuple-identical across a substitution.
+        subs = ctx.environment.registry.substitutions
+        if subs.epoch != self._sub_epoch:
+            rebound = subs.rebound_since(
+                node.binding_pattern.prototype.name, self._sub_epoch
+            )
+            self._sub_epoch = subs.epoch
+            if rebound:
+                pos = self._service_position
+                for t in [t for t in self._cache if t[pos] in rebound]:
+                    rows = self._cache.pop(t)
+                    self._unflushed -= rows
+                    inserted -= rows
+                    deleted.update(r for r in rows if r in self.current)
+                    self._pending.add(t)
+                for t in [t for t in self._parked if t[pos] in rebound]:
+                    self._parked.discard(t)
+                    self._pending.add(t)
+                for t in [t for t in self._due if t[pos] in rebound]:
+                    del self._due[t]  # re-scheduled with the full delay
         for t in delta.deleted:
             rows = self._cache.pop(t, None)
             if rows:
@@ -829,6 +856,14 @@ class InvocationExec(Executor):
                     ctx.record_action(Action(bp, reference, input_tuple))
                 inserted |= rows
         self._unflushed.clear()
+        # A rebound tuple whose substitute returns the very same rows nets
+        # to no change (the overlap is only ever produced by the rebind
+        # invalidation above: distinct operand tuples embed their child
+        # values in every row, so they cannot collide).
+        overlap = inserted & deleted
+        if overlap:
+            inserted -= overlap
+            deleted -= overlap
         return Delta(frozenset(inserted), frozenset(deleted))
 
 

@@ -145,6 +145,7 @@ class FederatedPEMS(PEMS):
     def shard_summary(self) -> dict:
         """The ``.shards`` payload: per-zone state plus the scattered
         subtrees currently live at the coordinator."""
+        report = self.erm.substitution_report()
         return {
             "zones": [
                 self.zones[name].summary() for name in sorted(self.zones)
@@ -152,6 +153,10 @@ class FederatedPEMS(PEMS):
             "parallelism": self.parallelism,
             "scattered": self.queries.shared.scatter_summary(),
             "gossip_relayed": self.gossip.relayed,
+            # Substitution happens at the coordinator registry (invocation
+            # hub), but its candidates arrive from any zone via gossip —
+            # surface the active bindings next to the shard state.
+            "substitutions": report["bindings"],
         }
 
     def shutdown(self) -> None:

@@ -154,6 +154,11 @@ class HealthTracker:
         self.policy = policy if policy is not None else PERMISSIVE_POLICY
         self._records: dict[str, ServiceHealth] = {}
         self._tick_failures: dict[str, _TickFailures] = {}
+        #: Bumped whenever something a substitution *score* can read
+        #: changes (state transitions, failure counts) — successes on a
+        #: clean UP record deliberately don't bump it, so the failover
+        #: cache stays warm across fault-free ticks.
+        self.version = 0
 
     # -- observation -------------------------------------------------------------
 
@@ -240,6 +245,8 @@ class HealthTracker:
                 # record entirely — keeps the hot path allocation-free.
                 return
             record = self.health(reference)
+        if record.state is not HealthState.UP or record.total_failures:
+            self.version += 1
         record.total_successes += 1
         record.consecutive_failures = 0
         record.last_success = instant
@@ -252,6 +259,7 @@ class HealthTracker:
 
     def record_failure(self, reference: str, instant: int) -> None:
         record = self.health(reference)
+        self.version += 1
         record.total_failures += 1
         record.consecutive_failures += 1
         record.last_failure = instant
@@ -290,13 +298,15 @@ class HealthTracker:
         record = self._records.get(reference)
         if record is None:
             return
+        self.version += 1
         record.state = HealthState.SUSPECT
         record.consecutive_failures = 0
         record.quarantined_at = None
 
     def forget(self, reference: str) -> None:
         """Drop the record (service deregistered for good)."""
-        self._records.pop(reference, None)
+        if self._records.pop(reference, None) is not None:
+            self.version += 1
         self._tick_failures.pop(reference, None)
 
     def __repr__(self) -> str:

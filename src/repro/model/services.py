@@ -17,17 +17,25 @@ regardless of invocation order.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import (
     InvocationError,
     PrototypeNotImplementedError,
     SchemaError,
+    ServiceError,
     ServiceUnavailableError,
     UnknownServiceError,
 )
 from repro.model.invocation_policy import HealthState, HealthTracker, InvocationPolicy
 from repro.model.prototypes import Prototype
+from repro.model.substitution import (
+    ResolvedBinding,
+    SubstitutionPolicy,
+    SubstitutionState,
+)
+from repro.obs.metrics import Ewma
 from repro.obs.observe import Observability
 
 __all__ = ["Service", "MethodHandler", "ServiceRegistry"]
@@ -110,8 +118,12 @@ class ServiceRegistry:
         services: Iterable[Service] = (),
         policy: InvocationPolicy | None = None,
         observe: "Observability | str | None" = None,
+        substitution: SubstitutionPolicy | None = None,
     ):
         self._services: dict[str, Service] = {}
+        #: Bumped on every register/unregister — a cheap invalidation key
+        #: for caches derived from the membership (the ERM failover table).
+        self.topology_version = 0
         for service in services:
             self.register(service)
         #: Observability facade: a standalone registry defaults to the
@@ -129,6 +141,19 @@ class ServiceRegistry:
         #: With the default (permissive) policy no gate ever closes and
         #: invocation behaviour is identical to a policy-free registry.
         self.health = HealthTracker(policy)
+        #: Substitution relation + active binding/failover tables.  Declared
+        #: rules are consulted by :meth:`invoke` (binding routing before the
+        #: health gates, failover on the failure path); the tables are only
+        #: ever rewritten by the core ERM's tick sweep, so they are frozen
+        #: for the duration of an instant.
+        self.substitutions = SubstitutionState(substitution)
+        # Per-service invocation-latency EWMAs (seconds): the observed
+        # "latency histogram" signal the substitution scorer folds in when
+        # the policy is latency_aware.  Always-on and registry-internal —
+        # deliberately *not* part of the health snapshot, which the
+        # differential suites compare across engines.
+        self._latency: dict[str, Ewma] = {}
+        self._chain_depth = 0
         # Per-instant invocation memo (see begin_instant_memo): active only
         # inside a PEMS tick, where identical (prototype, service, inputs)
         # calls from different continuous queries are deterministic
@@ -159,6 +184,13 @@ class ServiceRegistry:
         self._outcome_failed = metrics.counter(
             "serena_invocation_outcomes_total", outcome_help, outcome="failed"
         )
+        self._outcome_substituted = metrics.counter(
+            "serena_invocation_outcomes_total", outcome_help, outcome="substituted"
+        )
+        self._failovers_total = metrics.counter(
+            "serena_substitution_failovers_total",
+            "Failed invocations answered by a pre-scored failover plan",
+        )
 
     def bind_observability(self, observe: "Observability | str | None") -> None:
         """Re-home this registry's instruments onto another facade (PEMS
@@ -178,12 +210,15 @@ class ServiceRegistry:
 
     def register(self, service: Service) -> None:
         """Add or replace a service (idempotent on the reference)."""
+        if self._services.get(service.reference) is not service:
+            self.topology_version += 1
         self._services[service.reference] = service
 
     def unregister(self, reference: str) -> None:
         """Remove a service; unknown references are ignored (a service may
         disappear and be reaped twice in a dynamic environment)."""
-        self._services.pop(reference, None)
+        if self._services.pop(reference, None) is not None:
+            self.topology_version += 1
 
     def get(self, reference: str) -> Service:
         try:
@@ -304,6 +339,30 @@ class ServiceRegistry:
                             outcome="memo_hit",
                         )
                     return list(cached)
+        subs = self.substitutions
+        if subs.bindings:
+            binding = subs.bindings.get((prototype.name, reference))
+            if binding is not None:
+                # Durable reroute installed by the ERM sweep: the dead
+                # device is never contacted, its health never probed, and
+                # the result is memoized under the *original* key (the
+                # binding is frozen for the instant, so the §3.2
+                # determinism argument carries over unchanged).
+                results = self._invoke_binding(binding, prototype, inputs, instant)
+                if obs.metrics_on:
+                    self._outcome_substituted.inc()
+                if obs.tracing_on:
+                    obs.tracer.event(
+                        "service.invoke",
+                        instant,
+                        service=reference,
+                        prototype=prototype.name,
+                        outcome="substituted",
+                        via=binding.describe(),
+                    )
+                if key is not None and self._memo is not None:
+                    self._memo[key] = list(results)
+                return results
         refused = self.health.check(reference, instant)
         if refused is not None:
             # The policy fails the invocation fast: the device is not
@@ -321,14 +380,21 @@ class ServiceRegistry:
                     outcome="fast_failed",
                     reason=reason,
                 )
+            fallback = self._failover(prototype, reference, inputs, instant, key)
+            if fallback is not None:
+                return fallback
             raise ServiceUnavailableError(reference, reason, retry_at)
         state_before = self.health.state(reference) if obs.metrics_on else None
         self._invocations_total.inc()
+        started = perf_counter()
         try:
             rows = handler(dict(inputs), instant)
         except Exception as exc:
             self.health.record_failure(reference, instant)
             self._invoke_failed(prototype, reference, instant, state_before)
+            fallback = self._failover(prototype, reference, inputs, instant, key)
+            if fallback is not None:
+                return fallback
             raise InvocationError(
                 f"invocation of {prototype.name!r} on {reference!r} failed: {exc}"
             ) from exc
@@ -339,10 +405,14 @@ class ServiceRegistry:
             except SchemaError as exc:
                 self.health.record_failure(reference, instant)
                 self._invoke_failed(prototype, reference, instant, state_before)
+                fallback = self._failover(prototype, reference, inputs, instant, key)
+                if fallback is not None:
+                    return fallback
                 raise InvocationError(
                     f"invocation of {prototype.name!r} on {reference!r} "
                     f"returned an invalid output tuple {row!r}: {exc}"
                 ) from exc
+        self._observe_latency(reference, perf_counter() - started)
         self.health.record_success(reference, instant)
         if state_before is not None:
             self._health_transition(reference, state_before)
@@ -360,6 +430,130 @@ class ServiceRegistry:
         if key is not None and self._memo is not None:
             self._memo[key] = list(results)  # successes only
         return results
+
+    # -- substitution (semantic rebinding) -----------------------------------
+
+    def _invoke_binding(
+        self,
+        plan: ResolvedBinding,
+        prototype: Prototype,
+        inputs: Mapping[str, object],
+        instant: int,
+    ) -> list[tuple]:
+        """Execute a substitution plan in place of ``(prototype, reference)``.
+
+        Nested :meth:`invoke` calls do all the usual work — gates, health
+        bookkeeping, memoization — against the *substitute* references, so
+        a substitute that itself fails is observed and re-ranked by the
+        next ERM sweep.  Routing through a service that is itself bound
+        recurses; ``max_chain`` bounds the depth (cycle guard of last
+        resort — the ERM refuses to install cyclic bindings up front).
+        """
+        if self._chain_depth >= self.substitutions.policy.max_chain:
+            raise InvocationError(
+                f"substitution chain for {prototype.name!r} on "
+                f"{plan.reference!r} exceeded max_chain="
+                f"{self.substitutions.policy.max_chain}"
+            )
+        self._chain_depth += 1
+        try:
+            if plan.rule.kind == "equivalent_to":
+                _, target = plan.targets[0]
+                return self.invoke(prototype, target, inputs, instant)
+            if plan.rule.kind == "specializes":
+                via, target = plan.targets[0]
+                narrowed = {name: inputs[name] for name in via.input_names}
+                rows = self.invoke(via, target, narrowed, instant)
+                projection = plan.projection or ()
+                return [tuple(row[i] for i in projection) for row in rows]
+            # composed_of: thread an attribute environment through the steps
+            # with Cartesian semantics over multi-row step outputs.
+            envs: list[dict[str, object]] = [dict(inputs)]
+            for step_proto, target in plan.targets:
+                step_names = step_proto.input_schema.names
+                out_names = step_proto.output_schema.names
+                merged: list[dict[str, object]] = []
+                for env in envs:
+                    step_inputs = {name: env[name] for name in step_names}
+                    for row in self.invoke(step_proto, target, step_inputs, instant):
+                        extended = dict(env)
+                        extended.update(zip(out_names, row))
+                        merged.append(extended)
+                envs = merged
+            names = prototype.output_schema.names
+            return [tuple(env[name] for name in names) for env in envs]
+        finally:
+            self._chain_depth -= 1
+
+    def _failover(
+        self,
+        prototype: Prototype,
+        reference: str,
+        inputs: Mapping[str, object],
+        instant: int,
+        key: tuple | None,
+    ) -> list[tuple] | None:
+        """Answer a failed invocation from the pre-scored failover table.
+
+        The table is computed once per tick by the ERM sweep from
+        strictly-earlier health stamps, so the plan order tried here is
+        identical across engines and invocation orders — this is what
+        serves the crash instant itself with zero missed ticks.  Returns
+        None when no plan exists or every plan also failed (the original
+        error propagates).
+        """
+        subs = self.substitutions
+        if not subs.failover or not subs.policy.failover:
+            return None
+        plans = subs.failover.get((prototype.name, reference))
+        if not plans:
+            return None
+        obs = self.obs
+        for plan in plans:
+            try:
+                results = self._invoke_binding(plan, prototype, inputs, instant)
+            except ServiceError:
+                continue
+            self._failovers_total.inc()
+            if obs.tracing_on:
+                obs.tracer.event(
+                    "substitution.failover",
+                    instant,
+                    service=reference,
+                    prototype=prototype.name,
+                    via=plan.describe(),
+                )
+            if key is not None and self._memo is not None:
+                self._memo[key] = list(results)
+            return results
+        return None
+
+    def _observe_latency(self, reference: str, seconds: float) -> None:
+        ewma = self._latency.get(reference)
+        if ewma is None:
+            ewma = self._latency[reference] = Ewma()
+        ewma.observe(seconds)
+
+    def latency_decile(self, reference: str) -> int:
+        """Coarse latency bucket (0-10) of ``reference``'s EWMA relative to
+        the slowest observed service — the optional ``latency_aware``
+        scoring term.  Coarse on purpose: scores must be stable under the
+        small run-to-run jitter of wall-clock timings."""
+        ewma = self._latency.get(reference)
+        if ewma is None or not ewma.count:
+            return 0
+        slowest = max(e.value for e in self._latency.values())
+        if slowest <= 0:
+            return 0
+        return min(10, int(10 * ewma.value / slowest))
+
+    def latency_snapshot(self) -> dict[str, float]:
+        """Reference → latency EWMA seconds (diagnostics; not compared by
+        the differential suites)."""
+        return {
+            reference: ewma.value
+            for reference, ewma in sorted(self._latency.items())
+        }
 
     # -- invocation observability helpers ------------------------------------
 

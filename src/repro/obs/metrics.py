@@ -26,6 +26,7 @@ from typing import Iterator, Mapping
 
 __all__ = [
     "Counter",
+    "Ewma",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -177,6 +178,34 @@ class Histogram:
             if seen >= rank:
                 return bound
         return float("inf")
+
+
+class Ewma:
+    """Exponentially-weighted moving average of a stream of samples.
+
+    Used for per-service invocation-latency tracking on the substitution
+    scoring path: an EWMA keeps one float of state per series (no bucket
+    list), forgets stale behaviour geometrically, and reads in O(1).  The
+    first sample seeds the average directly so cold services are scored
+    by their actual first observation, not by a decay from zero.
+    """
+
+    __slots__ = ("alpha", "value", "count")
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"ewma alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self.value = 0.0
+        self.count = 0
+
+    def observe(self, sample: float) -> float:
+        if self.count == 0:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (sample - self.value)
+        self.count += 1
+        return self.value
 
 
 Instrument = Counter | Gauge | Histogram

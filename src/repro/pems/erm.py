@@ -14,9 +14,10 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.continuous.time import VirtualClock
-from repro.model.invocation_policy import InvocationPolicy
+from repro.model.invocation_policy import HealthState, InvocationPolicy
 from repro.model.prototypes import Prototype
 from repro.model.services import Service, ServiceRegistry
+from repro.model.substitution import ResolvedBinding, SubstitutionRule
 from repro.obs.observe import Observability
 from repro.pems.discovery import Announcement, AnnouncementKind, DiscoveryBus
 
@@ -29,11 +30,13 @@ class DiscoveryEvent:
 
     ``kind`` is one of ``"appeared"`` (registered, including re-admission
     after a quarantine), ``"left"`` (explicit BYE), ``"expired"`` (lease
-    ran out) or ``"quarantined"`` (removed by the fault-tolerance policy
-    after crossing its failure threshold).
+    ran out), ``"quarantined"`` (removed by the fault-tolerance policy
+    after crossing its failure threshold) or ``"rebound"`` (kept
+    registered, but its invocations now route through a substitution
+    binding — continuous queries over its prototypes must re-evaluate).
     """
 
-    kind: str  # "appeared" | "left" | "expired" | "quarantined"
+    kind: str  # "appeared" | "left" | "expired" | "quarantined" | "rebound"
     service: Service
     instant: int
 
@@ -66,8 +69,25 @@ class EnvironmentResourceManager:
             kind: metrics.counter(
                 "serena_discovery_events_total", event_help, kind=kind
             )
-            for kind in ("appeared", "left", "expired", "quarantined")
+            for kind in ("appeared", "left", "expired", "quarantined", "rebound")
         }
+        self._rebinds_total = {
+            reason: metrics.counter(
+                "serena_substitution_rebinds_total",
+                "Substitution bindings installed or released, by trigger",
+                reason=reason,
+            )
+            for reason in (
+                "quarantine",
+                "lease-expiry",
+                "substitute-failed",
+                "left",
+            )
+        }
+        self._bindings_gauge = metrics.gauge(
+            "serena_substitutions_active",
+            "Active substitution bindings (prototype x reference pairs)",
+        )
         self._available_gauge = metrics.gauge(
             "serena_services_available",
             "Services currently registered (invocable) in the environment",
@@ -76,6 +96,11 @@ class EnvironmentResourceManager:
             "serena_services_quarantined",
             "Services currently parked out of the registry by quarantine",
         )
+        #: Invalidation signature of the last failover-table build: the
+        #: table only depends on registry membership, score-relevant
+        #: health stamps, the rule set and the active bindings, so across
+        #: fault-free ticks it is simply reused (the ≤5% overhead budget).
+        self._failover_sig: tuple | None = None
         self._expiry: dict[str, int] = {}
         # Quarantined services, removed from the registry but remembered so
         # they can be re-admitted once their quarantine backoff elapses:
@@ -155,18 +180,50 @@ class EnvironmentResourceManager:
                 self.registry.health.forget(service.reference)
                 return
             if service.reference in self.registry:
+                subs = self.registry.substitutions
+                if subs.enabled:
+                    # An explicit goodbye releases any binding held *for*
+                    # this reference; bindings routing *through* it are
+                    # re-ranked by the next tick's sweep.
+                    for prototype_name, reference in subs.bound_keys_for(
+                        service.reference
+                    ):
+                        self._note_rebind(
+                            subs.drop(
+                                prototype_name,
+                                reference,
+                                announcement.instant,
+                                "left",
+                            )
+                        )
                 self.registry.unregister(service.reference)
                 self._expiry.pop(service.reference, None)
                 self._emit("left", service)
 
     def _on_tick(self, instant: int) -> None:
         health = self.registry.health
+        subs = self.registry.substitutions
+        if subs.enabled:
+            # Substitution maintenance runs first so the binding and
+            # failover tables every invocation at ``instant`` consults are
+            # derived from strictly-earlier health stamps and then frozen
+            # for the whole tick (§3.2 determinism).
+            self._substitution_sweep(instant)
         # Quarantine sweep: a service whose failures crossed the policy
         # threshold is treated like a lease expiry — removed from the
         # registry (and hence from dynamic XD-Relation extents at the next
-        # discovery sync) and parked for later re-admission.
+        # discovery sync) and parked for later re-admission.  With a
+        # substitution binding available the service is instead healed in
+        # place: it stays registered (discovery rows intact) and its
+        # invocations route to the substitute.
+        bound = subs.bound_references() if subs.enabled else frozenset()
         for reference in sorted(health.quarantined()):
             if reference not in self.registry:
+                continue
+            if reference in bound:
+                continue  # already substituted in place
+            if subs.enabled and self._try_rebind(reference, instant, "quarantine"):
+                bound = subs.bound_references()
                 continue
             service = self.registry.get(reference)
             lease_hint = max(1, self._expiry.get(reference, instant + 1) - instant)
@@ -185,8 +242,18 @@ class EnvironmentResourceManager:
             self._expiry[reference] = instant + lease_hint
             self._emit("appeared", service)
         # Reap expired leases (crashed devices, partitioned Local ERMs).
+        # A bound service's lease self-renews: the device behind it is
+        # gone, but the binding keeps the reference alive (and its
+        # discovery rows stable) until the substitute itself fails.
         for reference in sorted(self._expiry):
             if self._expiry[reference] < instant:
+                if subs.enabled and (
+                    reference in bound
+                    or self._try_rebind(reference, instant, "lease-expiry")
+                ):
+                    bound = subs.bound_references()
+                    self._expiry[reference] = instant + 1
+                    continue
                 service = self.registry.get(reference)
                 self.registry.unregister(reference)
                 del self._expiry[reference]
@@ -200,6 +267,155 @@ class EnvironmentResourceManager:
                 callback(None, exc)
             else:
                 callback(results, None)
+
+    # -- substitution (semantic rebinding) -------------------------------------------
+
+    def declare_substitution(self, rule: SubstitutionRule) -> None:
+        """Add a rule to the substitution relation (queryable via
+        :meth:`substitution_report`; consulted by the tick sweep whenever
+        a provider of the rule's prototype is quarantined or its lease
+        expires)."""
+        self.registry.substitutions.declare(rule)
+
+    def substitution_report(self) -> dict:
+        """Declared rules, active bindings, the current failover table and
+        the recent rebind history (the ``.substitutions`` CLI surface)."""
+        return self.registry.substitutions.report()
+
+    def _note_rebind(self, record) -> None:
+        if record is None:
+            return
+        obs = self.obs
+        if obs.metrics_on:
+            counter = self._rebinds_total.get(record.reason)
+            if counter is not None:
+                counter.inc()
+            self._bindings_gauge.set(len(self.registry.substitutions.bindings))
+        if obs.tracing_on:
+            obs.tracer.event(
+                "substitution.rebind",
+                record.instant,
+                prototype=record.prototype,
+                service=record.reference,
+                target=record.target,
+                reason=record.reason,
+            )
+
+    def _candidate_plans(
+        self, prototype: Prototype, reference: str
+    ) -> list[ResolvedBinding]:
+        """Resolved, ranked, cycle-free plans for ``(prototype, reference)``."""
+        subs = self.registry.substitutions
+        plans = subs.rank(
+            self.registry, subs.resolve(self.registry, prototype, reference)
+        )
+        return [
+            plan for plan in plans if not subs.routes_through(plan, reference)
+        ]
+
+    def _prototypes_of(self, reference: str) -> list[Prototype]:
+        service = self.registry.get(reference)
+        return sorted(service.prototypes, key=lambda p: p.name)
+
+    def _try_rebind(self, reference: str, instant: int, reason: str) -> bool:
+        """Install sticky bindings for every substitutable prototype of
+        ``reference``; True iff at least one binding is now active (the
+        service then stays registered instead of parking/expiring)."""
+        subs = self.registry.substitutions
+        if not subs.policy.sticky:
+            return False
+        covered = subs.prototype_names
+        installed = False
+        for prototype in self._prototypes_of(reference):
+            if prototype.name not in covered:
+                continue
+            if subs.binding(prototype.name, reference) is not None:
+                installed = True
+                continue
+            plans = self._candidate_plans(prototype, reference)
+            if plans:
+                self._note_rebind(subs.install(plans[0], instant, reason))
+                installed = True
+        if installed:
+            self._emit("rebound", self.registry.get(reference))
+        return installed
+
+    def _binding_healthy(self, plan: ResolvedBinding) -> bool:
+        health = self.registry.health
+        for _, target in plan.targets:
+            if target not in self.registry:
+                return False
+            if health.state(target) is HealthState.QUARANTINED:
+                return False
+        return True
+
+    def _substitution_sweep(self, instant: int) -> None:
+        subs = self.registry.substitutions
+        # 1. Maintain active bindings: a binding whose substitute has left
+        # or been quarantined is released; if another candidate exists it
+        # takes over immediately (same sweep, same event), otherwise the
+        # original falls through the normal quarantine/lease machinery
+        # below — which self-heals it onto probation if it recovered.
+        for key in sorted(subs.bindings):
+            plan = subs.bindings[key]
+            if self._binding_healthy(plan):
+                continue
+            prototype_name, reference = key
+            self._note_rebind(
+                subs.drop(prototype_name, reference, instant, "substitute-failed")
+            )
+            if reference not in self.registry:
+                continue
+            prototype = next(
+                (
+                    p
+                    for p in self._prototypes_of(reference)
+                    if p.name == prototype_name
+                ),
+                None,
+            )
+            if prototype is None:
+                continue
+            plans = self._candidate_plans(prototype, reference)
+            if plans:
+                self._note_rebind(
+                    subs.install(plans[0], instant, "substitute-failed")
+                )
+                self._emit("rebound", self.registry.get(reference))
+        # 2. Refresh the failover table: pre-scored candidate plans for
+        # every substitutable (prototype, reference) pair, frozen for this
+        # tick.  The registry's failure path walks these in order, which
+        # is what answers the very instant a bound device crashes.
+        if not subs.policy.failover:
+            return
+        # Everything a candidate score reads is covered by three cheap
+        # version counters (plus the rule count); with latency-aware
+        # ranking the EWMA deciles drift per tick, so don't cache then.
+        signature = (
+            self.registry.topology_version,
+            self.registry.health.version,
+            subs.epoch,
+            len(subs.rules),
+        )
+        if (
+            not subs.policy.latency_aware
+            and signature == self._failover_sig
+        ):
+            return
+        self._failover_sig = signature
+        table: dict[tuple[str, str], tuple[ResolvedBinding, ...]] = {}
+        covered = subs.prototype_names
+        for service in sorted(self.registry, key=lambda s: s.reference):
+            for prototype in sorted(service.prototypes, key=lambda p: p.name):
+                if prototype.name not in covered:
+                    continue
+                key = (prototype.name, service.reference)
+                if key in subs.bindings:
+                    continue  # already durably rerouted
+                plans = self._candidate_plans(prototype, service.reference)
+                if plans:
+                    table[key] = tuple(plans)
+        subs.failover = table
 
     # -- invocation ----------------------------------------------------------------------
 

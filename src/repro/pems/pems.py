@@ -110,6 +110,13 @@ class PEMS:
     def local_erms(self) -> dict[str, LocalEnvironmentResourceManager]:
         return dict(self._local_erms)
 
+    def declare_substitution(self, rule) -> None:
+        """Declare a semantic substitution rule with the core ERM (see
+        :mod:`repro.model.substitution`): when a provider of the rule's
+        prototype is quarantined or its lease expires, the ERM sweep
+        rebinds its invocations to the best-ranked live substitute."""
+        self.erm.declare_substitution(rule)
+
     # -- stream sources --------------------------------------------------------------
 
     def add_stream_source(self, source: StreamSource) -> None:

@@ -20,6 +20,7 @@ from repro.algebra.query import Query, QueryResult
 from repro.continuous.continuous_query import ContinuousQuery
 from repro.continuous.time import VirtualClock
 from repro.errors import SerenaError, UnknownAttributeError
+from repro.exec.reoptimizer import FeedbackReoptimizer
 from repro.exec.scheduler import TickScheduler
 from repro.exec.shared import SharedPlanRegistry
 from repro.model.environment import PervasiveEnvironment
@@ -152,6 +153,8 @@ class QueryProcessor:
         self._discovery: list[DiscoveryQuery] = []
         self._rows_by_service: dict[tuple[str, str], tuple] = {}
         self._failures: deque[QueryFailure] = deque(maxlen=FAILURE_LOG_SIZE)
+        #: Opt-in feedback re-optimizer (see :meth:`enable_reoptimization`).
+        self.reoptimizer: FeedbackReoptimizer | None = None
         clock.on_tick(self._on_tick)
 
     def _make_registry(
@@ -253,6 +256,8 @@ class QueryProcessor:
         insort(self._order, key)
         if effective == "shared":
             self.scheduler.register(key, continuous)
+        if self.reoptimizer is not None:
+            self.reoptimizer.watch(key, continuous, self.clock.now)
         self._registered_gauge.set(len(self._continuous))
         return continuous
 
@@ -262,8 +267,26 @@ class QueryProcessor:
         continuous = self._continuous.pop(name)
         self._order.remove(name)
         self.scheduler.deregister(name)
+        if self.reoptimizer is not None:
+            self.reoptimizer.unwatch(name)
         continuous.release()
         self._registered_gauge.set(len(self._continuous))
+
+    def enable_reoptimization(self, **kwargs) -> FeedbackReoptimizer:
+        """Turn on feedback-driven re-optimization (DESIGN.md §13).
+
+        Already-registered swappable queries start being watched from the
+        current instant; keyword arguments are forwarded to
+        :class:`~repro.exec.reoptimizer.FeedbackReoptimizer` (divergence
+        factor, observation window, cooldown, plan budget).  Idempotent
+        only in the sense that calling it again replaces the reoptimizer
+        and restarts every observation window.
+        """
+        kwargs.setdefault("observe", self.obs)
+        self.reoptimizer = FeedbackReoptimizer(self.environment, **kwargs)
+        for name, continuous in self._continuous.items():
+            self.reoptimizer.watch(name, continuous, self.clock.now)
+        return self.reoptimizer
 
     def continuous_query(self, name: str) -> ContinuousQuery:
         try:
@@ -393,6 +416,8 @@ class QueryProcessor:
                             continuous.evaluate_at(instant)
                         if scheduled:
                             self.scheduler.evaluated(name, True)
+                        if self.reoptimizer is not None:
+                            self.reoptimizer.observe(name, continuous, instant)
                 except Exception as exc:
                     self._failures.append(
                         QueryFailure.from_exception(instant, name, exc)
@@ -400,6 +425,12 @@ class QueryProcessor:
                     self._failures_total.inc()
                     if scheduled:
                         self.scheduler.evaluated(name, False)
+            if self.reoptimizer is not None:
+                # After the evaluation loop: swapped plans take effect at
+                # the *next* instant, from strictly earlier observations.
+                self.reoptimizer.reoptimize(
+                    self._continuous, self.scheduler, instant
+                )
         finally:
             registry.end_instant_memo()
 

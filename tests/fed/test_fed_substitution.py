@@ -1,0 +1,45 @@
+"""Federated semantic substitution: the spare lives on a *different*
+zone shard than the dying sensor, yet the rebinding path (failover at
+the crash instant, sticky binding afterwards) is tuple-identical to the
+single-node shared engine — candidates are gossip-discovered and all
+invocations route through the coordinator registry, so the substitution
+machinery is shard-location agnostic.
+"""
+
+from tests.exec.test_substitution_differential import (
+    drive_substitution_scenario,
+)
+
+
+def test_federated_substitution_matches_shared():
+    base, base_snaps = drive_substitution_scenario("shared")
+    run, snaps = drive_substitution_scenario("federated")
+    try:
+        for instant, (a, b) in enumerate(zip(base_snaps, snaps), start=1):
+            assert a == b, f"tick {instant} diverged"
+
+        # The rebinding is real on the federation too: the binding is
+        # installed, sensor22 feeds every instant, and the shard summary
+        # surfaces the substitution.
+        for instant, snap in enumerate(snaps, start=1):
+            assert "sensor22" in snap["fed_this_tick"], f"missed tick {instant}"
+        summary = run.pems.shard_summary()
+        assert summary["substitutions"] == {
+            "getTemperature[sensor22]": "specializes spare-roof/getEnvReading"
+        }
+
+        # The determinism is not vacuous sharding-wise: the dying sensor
+        # and its substitute genuinely live on different zone shards.
+        ring = run.pems.ring
+        assert ring.zone_for("spare-roof") != ring.zone_for("sensor22")
+        populated = [
+            z
+            for z in summary["zones"]
+            if z["services"] or z["rows"]
+        ]
+        assert len(populated) >= 2
+    finally:
+        for scenario in (base, run):
+            shutdown = getattr(scenario.pems, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
