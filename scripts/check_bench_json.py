@@ -112,10 +112,87 @@ def check_substitution(payload: dict, name: str) -> list[str]:
     return problems
 
 
+#: Per-scale fields of the city sweep.
+CITY_SCALE_KEYS = ("devices", "zones", "queries", "seconds_per_tick")
+
+
+def check_city(payload: dict, name: str) -> list[str]:
+    """``BENCH_city.json`` pins the ISSUE 10 sweep shape: a device-scale
+    axis topping out above 2000 devices in full mode, the row-vs-columnar
+    and 1-vs-8-zone comparisons, the ± cascade axis with zero missed
+    station readings, and a churn sweep."""
+    problems: list[str] = []
+    scales = payload.get("scales")
+    if not isinstance(scales, list) or not scales:
+        problems.append(f"{name}: missing non-empty 'scales' list")
+    else:
+        for index, scale in enumerate(scales):
+            if not isinstance(scale, dict):
+                problems.append(f"{name}: scales[{index}] is not an object")
+                continue
+            for key in CITY_SCALE_KEYS:
+                if not isinstance(scale.get(key), (int, float)):
+                    problems.append(
+                        f"{name}: scales[{index}] missing numeric {key!r}"
+                    )
+        top = scales[-1]
+        if (
+            payload.get("mode") == "full"
+            and isinstance(top, dict)
+            and isinstance(top.get("devices"), int)
+            and top["devices"] < 2000
+        ):
+            problems.append(
+                f"{name}: full-mode top scale has only {top['devices']} "
+                "devices (the committed artifact must record >= 2000)"
+            )
+    rvc = payload.get("row_vs_columnar")
+    if not isinstance(rvc, dict):
+        problems.append(f"{name}: missing 'row_vs_columnar' object")
+    else:
+        for key in ("row_seconds_per_tick", "columnar_seconds_per_tick"):
+            if not isinstance(rvc.get(key), (int, float)):
+                problems.append(f"{name}: row_vs_columnar missing numeric {key!r}")
+    zones = payload.get("zones_1_vs_8")
+    if not isinstance(zones, dict):
+        problems.append(f"{name}: missing 'zones_1_vs_8' object")
+    else:
+        for key in ("one_zone_seconds_per_tick", "eight_zone_seconds_per_tick"):
+            if not isinstance(zones.get(key), (int, float)):
+                problems.append(f"{name}: zones_1_vs_8 missing numeric {key!r}")
+    cascade = payload.get("cascade")
+    if not isinstance(cascade, dict):
+        problems.append(f"{name}: missing 'cascade' object")
+    else:
+        for key in ("quiet_seconds_per_tick", "cascade_seconds_per_tick", "rebinds"):
+            if not isinstance(cascade.get(key), (int, float)):
+                problems.append(f"{name}: cascade missing numeric {key!r}")
+        if cascade.get("missed_station_readings") != 0:
+            problems.append(
+                f"{name}: cascade recorded "
+                f"{cascade.get('missed_station_readings')!r} missed station "
+                "readings — the substitution failover did not keep the "
+                "telemetry flowing"
+            )
+    churn = payload.get("churn")
+    if not isinstance(churn, list) or not churn:
+        problems.append(f"{name}: missing non-empty 'churn' list")
+    else:
+        for index, point in enumerate(churn):
+            if not isinstance(point, dict) or not isinstance(
+                point.get("seconds_per_tick"), (int, float)
+            ):
+                problems.append(
+                    f"{name}: churn[{index}] missing numeric 'seconds_per_tick'"
+                )
+    return problems
+
+
 #: Artifact-specific validators beyond the common metadata keys.
 EXTRA_CHECKS = {
     "BENCH_server.json": check_server,
     "BENCH_substitution.json": check_substitution,
+    "BENCH_city.json": check_city,
 }
 
 

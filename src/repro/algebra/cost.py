@@ -57,6 +57,12 @@ COLUMNAR_TUPLE_FACTOR = 0.2
 #: subtree's per-tick delta: the coordinator re-counts every delta row
 #: once per contributing zone (support counting in the gather executor).
 SHARD_MERGE_FACTOR = 0.05
+#: Risk premium on invocations of a prototype with *no* registered
+#: substitution rule: a failure there has no failover, so the expected
+#: cost carries re-invocation retries, quarantine gaps and missed-result
+#: recovery.  Prototypes the substitution registry covers are served
+#: transparently through their failover table (PR 9), so they pay none.
+UNSUBSTITUTABLE_RISK_PREMIUM = 1.25
 
 
 @dataclass(frozen=True)
@@ -87,12 +93,20 @@ class CostModel:
         are derived from actual distinct counts instead of the textbook
         defaults.  Build one with
         :func:`repro.algebra.statistics.collect_statistics`.
+    substitutable:
+        Prototype names covered by at least one substitution rule
+        (``registry.substitutions.prototype_names``).  When set,
+        invocations of prototypes *outside* it pay
+        :data:`UNSUBSTITUTABLE_RISK_PREMIUM` — so on an otherwise-tied
+        plan choice the optimizer prefers the provider a spare can
+        absorb.  ``None`` (the default) disables the premium entirely.
     """
 
     environment: PervasiveEnvironment
     service_costs: dict[str, float] = field(default_factory=dict)
     instant: int = 0
     statistics: object | None = None  # EnvironmentStatistics, duck-typed
+    substitutable: frozenset[str] | None = None
 
     # -- cardinality estimation ------------------------------------------------
 
@@ -199,11 +213,18 @@ class CostModel:
         # of the subtree, so the whole result is touched each tick.
         return self.cardinality(node)
 
+    def service_cost(self, prototype_name: str) -> float:
+        """Per-invocation cost of one call to ``prototype_name``,
+        including the risk premium when the prototype has no registered
+        substitute (see ``substitutable``)."""
+        per_call = self.service_costs.get(prototype_name, DEFAULT_SERVICE_COST)
+        if self.substitutable is not None and prototype_name not in self.substitutable:
+            per_call *= UNSUBSTITUTABLE_RISK_PREMIUM
+        return per_call
+
     def invocation_cost(self, node: Invocation) -> float:
         """Expected invocation cost of one β node: one call per input tuple."""
-        per_call = self.service_costs.get(
-            node.binding_pattern.prototype.name, DEFAULT_SERVICE_COST
-        )
+        per_call = self.service_cost(node.binding_pattern.prototype.name)
         return per_call * self.cardinality(node.children[0])
 
     # -- plan cost -------------------------------------------------------------
@@ -218,9 +239,7 @@ class CostModel:
             if isinstance(node, Invocation):
                 invocations += self.invocation_cost(node)
             elif isinstance(node, StreamingInvocation):
-                per_call = self.service_costs.get(
-                    node.binding_pattern.prototype.name, DEFAULT_SERVICE_COST
-                )
+                per_call = self.service_cost(node.binding_pattern.prototype.name)
                 invocations += per_call * self.cardinality(node.children[0])
         return PlanCost(
             total=tuples + invocations,
@@ -306,16 +325,12 @@ class CostModel:
             else:
                 tuples += self.cardinality(node)
             if isinstance(node, Invocation):
-                per_call = self.service_costs.get(
-                    node.binding_pattern.prototype.name, DEFAULT_SERVICE_COST
-                )
+                per_call = self.service_cost(node.binding_pattern.prototype.name)
                 invocations += per_call * self.delta_cardinality(
                     node.children[0], churn
                 )
             elif isinstance(node, StreamingInvocation):
-                per_call = self.service_costs.get(
-                    node.binding_pattern.prototype.name, DEFAULT_SERVICE_COST
-                )
+                per_call = self.service_cost(node.binding_pattern.prototype.name)
                 invocations += per_call * self.cardinality(node.children[0])
             for child in node.children:
                 visit(child, lowered)

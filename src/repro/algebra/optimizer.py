@@ -146,6 +146,18 @@ class Optimizer:
             plans_explored=explored,
         )
 
+    def choose(self, candidates: list[Query]) -> Query:
+        """Score candidate queries *as written* and return the cheapest
+        (first wins a tie).  Unlike :meth:`optimize`, no rewriting
+        happens — this ranks genuinely different plans, e.g. the same
+        information requested from two different providers, where the
+        cost model's substitution-risk premium
+        (:data:`~repro.algebra.cost.UNSUBSTITUTABLE_RISK_PREMIUM`)
+        breaks ties toward prototypes a spare can absorb."""
+        if not candidates:
+            raise ValueError("choose() needs at least one candidate")
+        return min(candidates, key=lambda query: self._score(query).total)
+
     def _neighbors(self, root: Operator) -> list[Operator]:
         """All plans one rule application away (any rule, any node)."""
         neighbors: list[Operator] = []

@@ -1,0 +1,154 @@
+"""The cascading-failure script compiler.
+
+A :class:`CascadeSpec` is the declarative form of a grid cascade:
+"substation *k* of zone *i* crashes for good at τ, the relays downstream
+go intermittent in staggered episodes over the next few ticks, and the
+zone's spare absorbs the station's load through the substitution
+registry".  A :class:`CascadeSchedule` compiles the spec against a
+generated topology into per-device :class:`~repro.devices.faults.
+FaultScript`\\ s.
+
+The compilation is **lazy**: the schedule keeps only the spec, the
+crashed station's reference and a per-zone relay index — O(affected
+devices) memory however long the run.  ``script_for(reference)``
+synthesizes the (frozen, cached-by-construction-cheapness) script on
+demand; nothing ever materializes a ``(device, tick)`` pair.  An earlier
+draft precomputed the full device × tick fault matrix up front, which
+at 4096 devices × a 55-tick run allocated hundreds of thousands of
+entries before the first tick ran; the regression test
+``tests/city/test_cascade.py::test_schedule_memory_bound`` pins the lazy
+behaviour.  :meth:`CascadeSchedule.expand` still offers the eager map
+for debugging, behind an explicit entry cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devices.faults import FaultScript
+from repro.errors import SerenaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.city.generator import CityTopology
+
+__all__ = ["CascadeSpec", "CascadeSchedule"]
+
+
+@dataclass(frozen=True)
+class CascadeSpec:
+    """One scripted cascade, resolved against a topology at build time.
+
+    Parameters
+    ----------
+    zone:
+        Index into the config's zone tuple: the zone whose station dies.
+    station:
+        Which of the zone's stations crashes (index).
+    crash_at:
+        The instant of the permanent crash (``FaultScript(crash_at=…)``
+        — the device never recovers, which is what drives the semantic
+        substitution path).
+    flicker_ticks:
+        Length of each downstream relay's intermittent episode.
+    stagger:
+        Instants between successive relays' episode starts — the
+        cascade propagates outward rather than failing everything at
+        once.
+    failure_rate:
+        Intermittent failure probability inside a relay's episode
+        (deterministic per ``(seed, relay, instant)``).
+    """
+
+    zone: int = 0
+    station: int = 0
+    crash_at: int = 20
+    flicker_ticks: int = 8
+    stagger: int = 1
+    failure_rate: float = 0.6
+
+    def __post_init__(self):
+        if self.zone < 0 or self.station < 0:
+            raise SerenaError("cascade zone/station indices must be >= 0")
+        if self.crash_at < 0:
+            raise SerenaError(f"crash_at must be >= 0, got {self.crash_at}")
+        if self.flicker_ticks < 1:
+            raise SerenaError("flicker_ticks must be >= 1")
+        if self.stagger < 0:
+            raise SerenaError("stagger must be >= 0")
+        if not 0.0 < self.failure_rate <= 1.0:
+            raise SerenaError(
+                f"failure_rate must be within (0, 1], got {self.failure_rate}"
+            )
+
+
+class CascadeSchedule:
+    """A compiled cascade: per-device fault scripts, synthesized lazily.
+
+    ``script_for(reference)`` is the whole interface the scenario
+    builder needs: it returns the :class:`FaultScript` the cascade
+    assigns to ``reference`` (or ``None`` for the unaffected fleet).
+    """
+
+    def __init__(self, spec: CascadeSpec, topology: "CityTopology"):
+        zones = topology.config.zones
+        if spec.zone >= len(zones):
+            raise SerenaError(
+                f"cascade zone index {spec.zone} out of range for {zones}"
+            )
+        self.spec = spec
+        self.zone = zones[spec.zone]
+        stations = [d.reference for d in topology.stations if d.zone == self.zone]
+        if spec.station >= len(stations):
+            raise SerenaError(
+                f"cascade station index {spec.station} out of range: zone "
+                f"{self.zone!r} has {len(stations)} stations"
+            )
+        #: The permanently-crashed station.
+        self.crashed_station: str = stations[spec.station]
+        # Episode start per downstream relay — the only per-device state
+        # the schedule holds (O(relays in the affected zone), never
+        # (device, tick) pairs).
+        self._relay_rank: dict[str, int] = {
+            d.reference: rank
+            for rank, d in enumerate(
+                d for d in topology.relays if d.zone == self.zone
+            )
+        }
+
+    def affected(self) -> Iterator[str]:
+        """References the cascade touches (station first, then relays)."""
+        yield self.crashed_station
+        yield from self._relay_rank
+
+    def script_for(self, reference: str) -> FaultScript | None:
+        """The fault script the cascade assigns to ``reference``."""
+        if reference == self.crashed_station:
+            return FaultScript(crash_at=self.spec.crash_at)
+        rank = self._relay_rank.get(reference)
+        if rank is None:
+            return None
+        start = self.spec.crash_at + 1 + self.spec.stagger * rank
+        return FaultScript(
+            failure_rate=self.spec.failure_rate,
+            intermittent_windows=((start, start + self.spec.flicker_ticks),),
+        )
+
+    def expand(self, limit: int = 4096) -> dict[str, FaultScript]:
+        """Debug helper: the eager reference → script map, capped.
+
+        The cap is a guard against reintroducing the up-front
+        materialization this module exists to avoid — a cascade whose
+        affected set exceeds ``limit`` refuses to expand eagerly.
+        """
+        affected = list(self.affected())
+        if len(affected) > limit:
+            raise SerenaError(
+                f"refusing to materialize {len(affected)} cascade scripts "
+                f"(limit {limit}); use script_for(reference) lazily"
+            )
+        return {
+            reference: script
+            for reference in affected
+            if (script := self.script_for(reference)) is not None
+        }

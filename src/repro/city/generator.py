@@ -1,0 +1,156 @@
+"""Seed-driven expansion of a :class:`CityConfig` into a topology.
+
+``generate_topology`` turns the declarative config into a concrete
+device list: every generated attribute (a meter's base draw, a
+station's capacity, which relay feeds which meter) is drawn through
+:mod:`repro.devices.determinism` from ``(config.seed, reference, tag)``
+— no RNG state, no ordering sensitivity — so the same config yields a
+byte-identical topology in any process (``CityTopology.digest`` pins
+this across process boundaries in the determinism tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.city.config import CityConfig
+from repro.city.devices import quantize
+from repro.devices.determinism import stable_unit
+
+__all__ = ["DeviceSpec", "CityTopology", "generate_topology"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One generated device: everything needed to instantiate it."""
+
+    kind: str  # "meter" | "relay" | "station" | "spare" | "weather" | "sink"
+    reference: str
+    zone: str
+    attrs: tuple[tuple[str, float | str], ...] = ()
+
+    def attr(self, name: str):
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def line(self) -> str:
+        """Canonical one-line form (the digest input)."""
+        attrs = ",".join(f"{k}={v!r}" for k, v in self.attrs)
+        return f"{self.kind} {self.reference} zone={self.zone} {attrs}"
+
+
+@dataclass(frozen=True)
+class CityTopology:
+    """The generated city: device specs grouped by kind."""
+
+    config: CityConfig
+    meters: tuple[DeviceSpec, ...] = ()
+    relays: tuple[DeviceSpec, ...] = ()
+    stations: tuple[DeviceSpec, ...] = ()
+    spares: tuple[DeviceSpec, ...] = ()
+    weather: tuple[DeviceSpec, ...] = ()
+    sinks: tuple[DeviceSpec, ...] = ()
+    thresholds: tuple[tuple[str, float], ...] = ()  # (zone, overload threshold)
+
+    def devices(self):
+        yield from self.meters
+        yield from self.relays
+        yield from self.stations
+        yield from self.spares
+        yield from self.weather
+        yield from self.sinks
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.devices())
+
+    def digest(self) -> str:
+        """Stable content hash over every generated device and threshold."""
+        blob = hashlib.sha256()
+        blob.update(self.config.digest().encode("ascii"))
+        for spec in self.devices():
+            blob.update(spec.line().encode("utf-8"))
+            blob.update(b"\n")
+        for zone, threshold in self.thresholds:
+            blob.update(f"threshold {zone} {threshold!r}\n".encode("utf-8"))
+        return blob.hexdigest()
+
+
+def _draw(seed: str, reference: str, tag: str, low: float, high: float) -> float:
+    """A quantized uniform draw in [low, high] — generation-time only."""
+    return quantize(low + (high - low) * stable_unit(seed, reference, tag))
+
+
+def generate_topology(config: CityConfig) -> CityTopology:
+    """Expand ``config`` into a concrete :class:`CityTopology`."""
+    seed = config.seed
+    meters: list[DeviceSpec] = []
+    relays: list[DeviceSpec] = []
+    stations: list[DeviceSpec] = []
+    spares: list[DeviceSpec] = []
+    weather: list[DeviceSpec] = []
+    for zi, zone in enumerate(config.zones):
+        zone_relays = []
+        for ri in range(config.relays_per_zone):
+            ref = f"relay-{zone}-{ri}"
+            rating = _draw(seed, ref, "rating", 150.0, 300.0)
+            zone_relays.append(ref)
+            relays.append(DeviceSpec("relay", ref, zone, (("rating", rating),)))
+        for mi in range(config.meters_per_zone):
+            ref = f"meter-{zone}-{mi}"
+            base = _draw(
+                seed,
+                ref,
+                "base",
+                config.base_load - config.load_spread,
+                config.base_load + config.load_spread,
+            )
+            # Which relay feeds this meter: a deterministic draw, not
+            # round-robin, so relay fan-out is uneven like a real feeder.
+            if zone_relays:
+                pick = int(
+                    stable_unit(seed, ref, "feeder") * len(zone_relays)
+                ) % len(zone_relays)
+                feeder = zone_relays[pick]
+            else:
+                feeder = ""
+            meters.append(
+                DeviceSpec(
+                    "meter",
+                    ref,
+                    zone,
+                    (("base", base), ("relay", feeder), ("phase", 7 * zi)),
+                )
+            )
+        for si in range(config.stations_per_zone):
+            ref = f"station-{zone}-{si}"
+            capacity = _draw(seed, ref, "capacity", 400.0, 800.0)
+            stations.append(DeviceSpec("station", ref, zone, (("capacity", capacity),)))
+        for pi in range(config.spare_stations_per_zone):
+            ref = f"spare-{zone}-{pi}"
+            capacity = _draw(seed, ref, "capacity", 400.0, 800.0)
+            spares.append(DeviceSpec("spare", ref, zone, (("capacity", capacity),)))
+        for wi in range(config.weather_per_zone):
+            ref = f"weather-{zone}-{wi}"
+            base_temp = _draw(seed, ref, "temp", 5.0, 25.0)
+            weather.append(
+                DeviceSpec("weather", ref, zone, (("base_temp", base_temp),))
+            )
+    sinks = tuple(
+        DeviceSpec("sink", f"sink-{i}", "") for i in range(config.alert_sinks)
+    )
+    thresholds = tuple(
+        (zone, quantize(config.overload_threshold)) for zone in config.zones
+    )
+    return CityTopology(
+        config=config,
+        meters=tuple(meters),
+        relays=tuple(relays),
+        stations=tuple(stations),
+        spares=tuple(spares),
+        weather=tuple(weather),
+        sinks=sinks,
+        thresholds=thresholds,
+    )

@@ -42,7 +42,12 @@ Run ``python -m repro`` for an interactive session, or
   ``.rule head(x) :- ...``  evaluate a conjunctive-calculus rule
   ``.demo temperature|rss`` load a ready-made §5.2 scenario; ``.demo
                             substitution`` adds a scripted permanent
-                            sensor crash with a declared spare (§13)
+                            sensor crash with a declared spare (§13);
+                            ``.demo city [engine]`` loads the generated
+                            smart-city scenario (§14) — e.g. ``.demo
+                            city federated`` maps its zones onto shards
+  ``.city <config> [eng]``  build a city from a ``.json``/``.toml``
+                            :class:`CityConfig` file on any engine
   ``.serve [port [n [ms]]]`` serve continuous-query deltas over TCP/SSE:
                             tick every ``ms`` milliseconds (default 100)
                             for ``n`` instants (default: until Ctrl-C);
@@ -99,6 +104,7 @@ class SerenaShell:
             "sal": self._cmd_sal,
             "rule": self._cmd_rule,
             "demo": self._cmd_demo,
+            "city": self._cmd_city,
             "serve": self._cmd_serve,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
@@ -377,10 +383,16 @@ class SerenaShell:
 
         query = compile_sql(argument.rstrip(";"), self.pems.environment)
         statistics = collect_statistics(self.pems.environment, self.pems.clock.now)
+        substitutions = getattr(
+            self.pems.environment.registry, "substitutions", None
+        )
         model = CostModel(
             self.pems.environment,
             instant=self.pems.clock.now,
             statistics=statistics,
+            substitutable=(
+                substitutions.prototype_names if substitutions is not None else None
+            ),
         )
         outcome = Optimizer(model).optimize(query)
         self._print("-- original plan --")
@@ -470,14 +482,53 @@ class SerenaShell:
             )
         elif name == "rss":
             self._scenario = build_rss_scenario(engine=engine)
+        elif name == "city":
+            from repro.city.config import DEMO_CITY
+            from repro.city.scenario import build_city
+
+            self._scenario = build_city(DEMO_CITY, engine=engine)
         else:
-            self._print("usage: .demo temperature|substitution|rss [engine]")
+            self._print(
+                "usage: .demo temperature|substitution|rss|city [engine]"
+            )
             return
         self.pems = self._scenario.pems
         self._print(
             f"loaded the {name} scenario (engine={engine}) "
             f"({len(self.pems.environment.registry)} services, "
             f"{len(self.pems.environment.relation_names)} relations); "
+            ".tick to advance"
+        )
+
+    def _cmd_city(self, argument: str) -> None:
+        from repro.city.config import CityConfig
+        from repro.city.scenario import build_city
+
+        path, _, engine = argument.partition(" ")
+        if not path:
+            self._print("usage: .city <config.json|config.toml> [engine]")
+            return
+        try:
+            config = CityConfig.load(path)
+        except OSError as exc:
+            self._print(f"error: cannot read {path!r} — {exc}")
+            return
+        engine = engine.strip() or "incremental"
+        self._scenario = build_city(config, engine=engine)
+        self.pems = self._scenario.pems
+        topology = self._scenario.topology
+        cascade = config.cascade
+        cascade_note = (
+            f"; cascade: station crash at τ={cascade.crash_at} "
+            f"in zone {config.zones[cascade.zone]!r}"
+            if cascade is not None
+            else ""
+        )
+        self._print(
+            f"built city {config.name!r} (engine={engine}): "
+            f"{len(topology)} devices across {len(config.zones)} zones, "
+            f"{len(self._scenario.queries)} standing queries, "
+            f"topology digest {topology.digest()[:12]}{cascade_note}; "
             ".tick to advance"
         )
 

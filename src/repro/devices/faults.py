@@ -61,6 +61,13 @@ class FaultScript:
     failure_rate:
         Probability that an invocation at a given instant fails with an
         intermittent error (drawn deterministically per instant).
+    intermittent_windows:
+        Half-open instant intervals outside of which ``failure_rate`` is
+        ignored.  Empty (the default) means the rate applies at every
+        instant — the original behaviour.  The cascading-failure compiler
+        (:mod:`repro.city.cascade`) uses this to script *episodes* of
+        flakiness ("the relays downstream of the dead substation go
+        intermittent for the next k ticks") without a per-tick schedule.
     latency_spike_rate:
         Probability that a response at a given instant is slow enough to
         exceed the client timeout; in this instant-granular model an
@@ -75,13 +82,18 @@ class FaultScript:
     crash_at: int | None = None
     crash_windows: tuple[tuple[int, int], ...] = ()
     failure_rate: float = 0.0
+    intermittent_windows: tuple[tuple[int, int], ...] = ()
     latency_spike_rate: float = 0.0
     malformed_windows: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self):
         if self.crash_at is not None and self.crash_at < 0:
             raise ValueError(f"crash_at must be >= 0, got {self.crash_at}")
-        for start, end in (*self.crash_windows, *self.malformed_windows):
+        for start, end in (
+            *self.crash_windows,
+            *self.intermittent_windows,
+            *self.malformed_windows,
+        ):
             if end < start:
                 raise ValueError(f"fault window [{start}, {end}) ends before it starts")
         for name in ("failure_rate", "latency_spike_rate"):
@@ -103,11 +115,12 @@ class FaultScript:
         for start, end in self.malformed_windows:
             if start <= instant < end:
                 return "malformed"
-        if (
-            self.failure_rate > 0.0
-            and stable_unit(seed, reference, "fault", instant) < self.failure_rate
+        if self.failure_rate > 0.0 and (
+            not self.intermittent_windows
+            or any(start <= instant < end for start, end in self.intermittent_windows)
         ):
-            return "intermittent"
+            if stable_unit(seed, reference, "fault", instant) < self.failure_rate:
+                return "intermittent"
         if (
             self.latency_spike_rate > 0.0
             and stable_unit(seed, reference, "latency", instant)

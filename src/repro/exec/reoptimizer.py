@@ -129,12 +129,17 @@ class FeedbackReoptimizer:
 
     # -- bookkeeping -------------------------------------------------------------
 
-    def _estimate(self, query, instant: int) -> float:
-        model = CostModel(
+    def _cost_model(self, instant: int) -> CostModel:
+        subs = getattr(self.environment.registry, "substitutions", None)
+        return CostModel(
             self.environment,
             instant=instant,
             statistics=collect_statistics(self.environment, instant),
+            substitutable=subs.prototype_names if subs is not None else None,
         )
+
+    def _estimate(self, query, instant: int) -> float:
+        model = self._cost_model(instant)
         return model.delta_cardinality(query.root, churn=self.churn)
 
     def watch(self, name: str, continuous, instant: int) -> bool:
@@ -200,11 +205,7 @@ class FeedbackReoptimizer:
             if continuous is None:
                 self.unwatch(name)
                 continue
-            model = CostModel(
-                self.environment,
-                instant=instant,
-                statistics=collect_statistics(self.environment, instant),
-            )
+            model = self._cost_model(instant)
             optimizer = Optimizer(
                 model,
                 plan_budget=self.plan_budget,

@@ -455,17 +455,19 @@ class SubscriptionServer:
                 entry = await subscription.queue.get()
                 if entry is None:
                     break
-                writer.write(
-                    sse_event(
-                        ClientSession._delta_message(subscription, entry)
-                    )
+                # Same batching as the JSONL pump: whatever else is
+                # already pending goes out in the same writelines.
+                batch = [entry, *subscription.queue.drain_ready()]
+                writer.writelines(
+                    sse_event(ClientSession._delta_message(subscription, e))
+                    for e in batch
                 )
                 await writer.drain()
-                if entry.published_at:
-                    self.observe_delivery(
-                        time.perf_counter() - entry.published_at
-                    )
-                self.messages_sent.inc()
+                now = time.perf_counter()
+                for queued in batch:
+                    if queued.published_at:
+                        self.observe_delivery(now - queued.published_at)
+                self.messages_sent.inc(len(batch))
                 subscription.sync_metrics()
         except (ConnectionError, OSError):
             pass

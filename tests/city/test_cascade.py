@@ -1,0 +1,141 @@
+"""The cascade compiler: lazy scripts, stagger, the memory bound."""
+
+import tracemalloc
+
+import pytest
+
+from repro.city.cascade import CascadeSchedule, CascadeSpec
+from repro.city.config import CityConfig
+from repro.city.generator import generate_topology
+from repro.devices.faults import FaultScript
+from repro.errors import SerenaError
+
+
+def schedule_for(config: CityConfig) -> CascadeSchedule:
+    return CascadeSchedule(config.cascade, generate_topology(config))
+
+
+CONFIG = CityConfig(
+    zones=("a", "b"),
+    relays_per_zone=3,
+    stations_per_zone=2,
+    cascade=CascadeSpec(
+        zone=1, station=1, crash_at=20, flicker_ticks=5, stagger=2, failure_rate=0.5
+    ),
+)
+
+
+class TestIntermittentWindows:
+    """The FaultScript extension the compiler builds on."""
+
+    def test_rate_applies_only_inside_windows(self):
+        script = FaultScript(failure_rate=1.0, intermittent_windows=((5, 8),))
+        kinds = [script.fault_at("r", t, "seed") for t in range(12)]
+        assert kinds[5:8] == ["intermittent"] * 3
+        assert all(kind is None for kind in kinds[:5] + kinds[8:])
+
+    def test_empty_windows_keep_original_behaviour(self):
+        everywhere = FaultScript(failure_rate=0.4)
+        windowed = FaultScript(failure_rate=0.4, intermittent_windows=((0, 100),))
+        for t in range(100):
+            assert everywhere.fault_at("r", t, "s") == windowed.fault_at("r", t, "s")
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultScript(failure_rate=0.1, intermittent_windows=((9, 3),))
+
+
+class TestCompilation:
+    def test_station_crashes_permanently(self):
+        schedule = schedule_for(CONFIG)
+        assert schedule.crashed_station == "station-b-1"
+        script = schedule.script_for("station-b-1")
+        assert script == FaultScript(crash_at=20)
+
+    def test_other_stations_untouched(self):
+        schedule = schedule_for(CONFIG)
+        assert schedule.script_for("station-b-0") is None
+        assert schedule.script_for("station-a-1") is None
+
+    def test_zone_relays_flicker_staggered(self):
+        schedule = schedule_for(CONFIG)
+        spec = CONFIG.cascade
+        for rank in range(CONFIG.relays_per_zone):
+            script = schedule.script_for(f"relay-b-{rank}")
+            start = spec.crash_at + 1 + spec.stagger * rank
+            assert script == FaultScript(
+                failure_rate=spec.failure_rate,
+                intermittent_windows=((start, start + spec.flicker_ticks),),
+            )
+
+    def test_out_of_zone_relays_and_meters_untouched(self):
+        schedule = schedule_for(CONFIG)
+        assert schedule.script_for("relay-a-0") is None
+        assert schedule.script_for("meter-b-0") is None
+
+    def test_affected_lists_station_then_relays(self):
+        schedule = schedule_for(CONFIG)
+        assert list(schedule.affected()) == [
+            "station-b-1",
+            "relay-b-0",
+            "relay-b-1",
+            "relay-b-2",
+        ]
+
+    def test_spec_validation(self):
+        with pytest.raises(SerenaError):
+            CascadeSpec(crash_at=-1)
+        with pytest.raises(SerenaError):
+            CascadeSpec(flicker_ticks=0)
+        with pytest.raises(SerenaError):
+            CascadeSpec(failure_rate=0.0)
+        with pytest.raises(SerenaError):
+            schedule_for(
+                CityConfig(zones=2, stations_per_zone=1, cascade=CascadeSpec(station=7))
+            )
+
+
+#: 8 zones × 512 relays = 4096 relay devices, plus stations/spares.
+BIG = CityConfig(
+    name="big",
+    zones=8,
+    meters_per_zone=0,
+    relays_per_zone=512,
+    stations_per_zone=1,
+    weather_per_zone=0,
+    spare_stations_per_zone=0,
+    alert_sinks=0,
+    cascade=CascadeSpec(zone=3, crash_at=10, flicker_ticks=50, stagger=1),
+)
+
+
+class TestMemoryBound:
+    """Regression: the schedule must stay O(affected devices), never
+    materializing (device, tick) pairs up front."""
+
+    def test_schedule_memory_stays_flat_over_4096_devices(self):
+        topology = generate_topology(BIG)
+        assert len(topology.relays) == 4096
+        tracemalloc.start()
+        try:
+            schedule = CascadeSchedule(BIG.cascade, topology)
+            # Consulting the whole fleet must not accumulate anything.
+            for spec in topology.devices():
+                schedule.script_for(spec.reference)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # An eager device × tick schedule (4096 × 50+ tick windows of
+        # per-instant entries) costs tens of MB; the lazy compiler holds
+        # one rank per affected relay.  1 MB is an order-of-magnitude
+        # safety margin over the observed footprint.
+        assert peak < 1_000_000, f"cascade schedule allocated {peak} bytes"
+
+    def test_expand_is_capped(self):
+        schedule = CascadeSchedule(BIG.cascade, generate_topology(BIG))
+        affected = list(schedule.affected())
+        assert len(affected) == 513  # the station + its zone's relays
+        with pytest.raises(SerenaError, match="refusing to materialize"):
+            schedule.expand(limit=100)
+        expanded = schedule.expand(limit=1024)
+        assert set(expanded) == set(affected)

@@ -1,0 +1,115 @@
+"""CityConfig: dict/file interchange, validation, digests."""
+
+import json
+
+import pytest
+
+from repro.city.cascade import CascadeSpec
+from repro.city.config import DEMO_CITY, SMALL_CITY, CityConfig
+from repro.errors import SerenaError
+
+
+class TestConstruction:
+    def test_zone_count_expands_to_names(self):
+        config = CityConfig(zones=3)
+        assert config.zones == ("z0", "z1", "z2")
+
+    def test_explicit_zone_names_kept(self):
+        config = CityConfig(zones=("harbor", "hills"))
+        assert config.zones == ("harbor", "hills")
+
+    def test_duplicate_zone_names_rejected(self):
+        with pytest.raises(SerenaError):
+            CityConfig(zones=("a", "a"))
+
+    def test_no_zones_rejected(self):
+        with pytest.raises(SerenaError):
+            CityConfig(zones=0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SerenaError):
+            CityConfig(meters_per_zone=-1)
+
+    def test_churn_rate_bounds(self):
+        with pytest.raises(SerenaError):
+            CityConfig(churn_rate=1.5)
+
+    def test_cascade_zone_must_exist(self):
+        with pytest.raises(SerenaError):
+            CityConfig(zones=2, cascade=CascadeSpec(zone=5))
+
+    def test_device_count(self):
+        config = CityConfig(
+            zones=2,
+            meters_per_zone=3,
+            relays_per_zone=1,
+            stations_per_zone=1,
+            weather_per_zone=1,
+            spare_stations_per_zone=1,
+            alert_sinks=2,
+        )
+        assert config.device_count == 2 * (3 + 1 + 1 + 1 + 1) + 2
+
+
+class TestInterchange:
+    def test_dict_round_trip(self):
+        restored = CityConfig.from_dict(SMALL_CITY.to_dict())
+        assert restored == SMALL_CITY
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SerenaError, match="unknown city config keys"):
+            CityConfig.from_dict({"metersss": 3})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerenaError):
+            CityConfig.from_dict([1, 2])
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "city.json"
+        path.write_text(json.dumps(DEMO_CITY.to_dict()), encoding="utf-8")
+        assert CityConfig.load(path) == DEMO_CITY
+
+    def test_toml_file_load(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")
+        assert tomllib  # 3.11+ only; JSON is the portable form
+        path = tmp_path / "city.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-city"',
+                    'seed = "toml-1"',
+                    'zones = ["a", "b"]',
+                    "meters_per_zone = 2",
+                    "[cascade]",
+                    "zone = 1",
+                    "crash_at = 10",
+                ]
+            ),
+            encoding="utf-8",
+        )
+        config = CityConfig.load(path)
+        assert config.name == "toml-city"
+        assert config.zones == ("a", "b")
+        assert config.cascade == CascadeSpec(zone=1, crash_at=10)
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        path = tmp_path / "city.yaml"
+        path.write_text("name: x", encoding="utf-8")
+        with pytest.raises(SerenaError, match="extension"):
+            CityConfig.load(path)
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert SMALL_CITY.digest() == CityConfig.from_dict(
+            SMALL_CITY.to_dict()
+        ).digest()
+
+    def test_digest_tracks_every_field(self):
+        base = CityConfig()
+        assert base.digest() != CityConfig(seed="other").digest()
+        assert base.digest() != CityConfig(meters_per_zone=9).digest()
+        assert (
+            base.digest()
+            != CityConfig(cascade=CascadeSpec(zone=0, crash_at=5)).digest()
+        )

@@ -1,0 +1,66 @@
+"""Topology generation: shape, determinism, digests."""
+
+from repro.city.config import SMALL_CITY, CityConfig
+from repro.city.generator import generate_topology
+
+
+class TestShape:
+    def test_counts_match_config(self):
+        topology = generate_topology(SMALL_CITY)
+        config = SMALL_CITY
+        zones = len(config.zones)
+        assert len(topology.meters) == zones * config.meters_per_zone
+        assert len(topology.relays) == zones * config.relays_per_zone
+        assert len(topology.stations) == zones * config.stations_per_zone
+        assert len(topology.spares) == zones * config.spare_stations_per_zone
+        assert len(topology.weather) == zones * config.weather_per_zone
+        assert len(topology.sinks) == config.alert_sinks
+        assert len(topology) == config.device_count
+
+    def test_references_are_unique(self):
+        topology = generate_topology(SMALL_CITY)
+        references = [spec.reference for spec in topology.devices()]
+        assert len(references) == len(set(references))
+
+    def test_meters_feed_a_zone_relay(self):
+        topology = generate_topology(SMALL_CITY)
+        by_zone = {}
+        for relay in topology.relays:
+            by_zone.setdefault(relay.zone, set()).add(relay.reference)
+        for meter in topology.meters:
+            assert meter.attr("relay") in by_zone[meter.zone]
+
+    def test_thresholds_cover_every_zone(self):
+        topology = generate_topology(SMALL_CITY)
+        assert tuple(z for z, _ in topology.thresholds) == SMALL_CITY.zones
+
+    def test_attribute_distributions_respect_bounds(self):
+        config = CityConfig(zones=4, meters_per_zone=20, base_load=50.0, load_spread=5.0)
+        topology = generate_topology(config)
+        bases = [float(m.attr("base")) for m in topology.meters]
+        assert all(45.0 <= b <= 55.0 for b in bases)
+        # the draw actually spreads (not all meters identical)
+        assert len(set(bases)) > 1
+
+
+class TestDeterminism:
+    def test_same_config_same_digest(self):
+        assert (
+            generate_topology(SMALL_CITY).digest()
+            == generate_topology(SMALL_CITY).digest()
+        )
+
+    def test_seed_changes_topology(self):
+        base = generate_topology(CityConfig(seed="a"))
+        other = generate_topology(CityConfig(seed="b"))
+        assert base.digest() != other.digest()
+        # references are structural (not seed-derived); attributes differ
+        assert [m.reference for m in base.meters] == [
+            m.reference for m in other.meters
+        ]
+        assert [m.attrs for m in base.meters] != [m.attrs for m in other.meters]
+
+    def test_digest_covers_thresholds(self):
+        a = generate_topology(CityConfig(overload_threshold=70.0))
+        b = generate_topology(CityConfig(overload_threshold=90.0))
+        assert a.digest() != b.digest()

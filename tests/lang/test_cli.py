@@ -364,3 +364,46 @@ class TestProfileCommand:
         assert "tuples]" in text
         assert "service invocations: 0" in text
         assert "sensor06" in text
+
+
+class TestCityCommands:
+    def test_demo_city(self, shell):
+        sh, out = shell
+        sh.execute(".demo city")
+        sh.execute(".tick 2")
+        sh.execute(".result zone-load")
+        text = out.getvalue()
+        assert "loaded the city scenario" in text
+        assert "avg_load" in text
+
+    def test_demo_city_federated_shards(self, shell):
+        sh, out = shell
+        sh.execute(".demo city federated")
+        sh.execute(".tick 1")
+        sh.execute(".shards")
+        text = out.getvalue()
+        assert "zones, lockstep" in text
+        assert "pruned" in text
+
+    def test_city_loads_config_file(self, shell, tmp_path):
+        import json
+
+        sh, out = shell
+        path = tmp_path / "tiny.json"
+        path.write_text(
+            json.dumps(
+                {"name": "tiny", "zones": ["a"], "meters_per_zone": 2}
+            )
+        )
+        sh.execute(f".city {path}")
+        sh.execute(".tick 1")
+        text = out.getvalue()
+        assert "built city 'tiny'" in text
+        assert "topology digest" in text
+
+    def test_city_usage_and_missing_file(self, shell):
+        sh, out = shell
+        sh.execute(".city")
+        assert "usage: .city" in out.getvalue()
+        sh.execute(".city /no/such/file.json")
+        assert "error" in out.getvalue()

@@ -139,3 +139,40 @@ class TestAsyncConsumption:
         queue.publish(QueuedDelta(1, 1, EMPTY_DELTA, 0, 0.0))
         queue.publish(entry(2, inserted={("a",)}))
         assert [e.first for e in drain(queue)] == [1, 2]
+
+
+class TestDrainReady:
+    """The batch primitive behind one-writelines-per-socket-per-tick."""
+
+    def test_drains_everything_pending_in_fifo_order(self):
+        queue = DeliveryQueue(8)
+        for τ in (1, 2, 3, 4):
+            queue.publish(entry(τ, inserted={("r", τ)}))
+        batch = queue.drain_ready()
+        assert [e.first for e in batch] == [1, 2, 3, 4]
+        assert queue.lag == 0
+        assert queue.delivered == 4
+
+    def test_empty_when_nothing_pending(self):
+        queue = DeliveryQueue(4)
+        assert queue.drain_ready() == []
+        assert queue.delivered == 0
+
+    def test_get_then_drain_covers_the_backlog_exactly_once(self):
+        queue = DeliveryQueue(8)
+        for τ in (1, 2, 3):
+            queue.publish(entry(τ, inserted={("r", τ)}))
+        first = asyncio.run(queue.get())
+        rest = queue.drain_ready()
+        assert [first.first] + [e.first for e in rest] == [1, 2, 3]
+        assert queue.lag == 0 and queue.delivered == 3
+        # the ready flag was cleared: a fresh publish re-arms it
+        queue.publish(entry(4))
+        assert asyncio.run(queue.get()).first == 4
+
+    def test_drain_after_close_still_returns_pending(self):
+        queue = DeliveryQueue(4)
+        queue.publish(entry(1, inserted={("a",)}))
+        queue.close()
+        assert [e.first for e in queue.drain_ready()] == [1]
+        assert asyncio.run(queue.get()) is None
